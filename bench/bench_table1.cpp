@@ -1,0 +1,53 @@
+// Reproduction of the paper's Table 1: execution time of FFT, Airshed and
+// MRI on the simulated Fig. 4 testbed under processor load, network traffic
+// and both, with randomly vs automatically selected nodes, plus the
+// unloaded reference column — printed side by side with the paper's
+// measurements, followed by the "slowdown roughly halved" analysis.
+//
+// Usage: bench_table1 [trials] [seed] [--csv]   (defaults: 25, 1999)
+// With --csv, the machine-readable grid is appended after the tables.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exp/report.hpp"
+#include "exp/table1.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netsel::exp;
+  Table1Options opt;
+  bool csv = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (positional == 0) {
+      opt.trials = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[i]));
+      ++positional;
+    }
+  }
+  opt.verbose = true;
+  if (opt.trials < 1) {
+    std::fprintf(stderr, "trials must be >= 1\n");
+    return 1;
+  }
+
+  std::printf(
+      "== Table 1: performance with computation load and network traffic ==\n"
+      "   (%d trials per cell, seed %llu; paper values from PPoPP'99)\n\n",
+      opt.trials, static_cast<unsigned long long>(opt.seed));
+  auto rows = run_table1(opt);
+  std::fputs("\n", stdout);
+  std::fputs(format_table1(rows).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(format_slowdown_summary(rows).c_str(), stdout);
+  if (csv) {
+    std::fputs("\n-- csv --\n", stdout);
+    std::fputs(table1_csv(rows).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+// netsel_cli — node selection from the command line.
+//
+// Reads a topology description (see topo/parse.hpp for the format), applies
+// dynamic availability overrides, and runs the selection procedures —
+// usable as a standalone placement tool for any network you can describe.
+//
+// Usage:
+//   netsel_cli --topology FILE --nodes M [options]
+//
+// Options:
+//   --criterion compute|bandwidth|balanced|latency   (default balanced)
+//   --load NODE=LOADAVG          repeatable: set a node's load average
+//   --bw LINKNAME=BW             repeatable: set a link's available bw
+//                                (e.g. --bw m-1--panama=20Mbps)
+//   --min-bw BW                  fixed bandwidth requirement (§3.3)
+//   --min-cpu FRACTION           fixed cpu requirement (§3.3)
+//   --cpu-priority K / --bw-priority K               (§3.3)
+//   --max-latency T              latency ceiling, e.g. 5ms (extension)
+//   --exhaustive                 exhaustive Fig. 3 sweep variant
+//   --dot                        emit Graphviz DOT with selection highlighted
+//
+// Example:
+//   netsel_cli --topology testbed.topo --nodes 4 --load m-16=2.0
+//              --bw suez--m-18=5Mbps --criterion balanced --dot
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "remos/snapshot.hpp"
+#include "select/algorithms.hpp"
+#include "select/latency.hpp"
+#include "select/objective.hpp"
+#include "topo/dot.hpp"
+#include "topo/parse.hpp"
+
+using namespace netsel;
+
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "netsel_cli: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::optional<topo::LinkId> find_link(const topo::TopologyGraph& g,
+                                      const std::string& name) {
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    if (g.link(static_cast<topo::LinkId>(l)).name == name)
+      return static_cast<topo::LinkId>(l);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology_path;
+  std::string criterion = "balanced";
+  int m = 0;
+  std::vector<std::pair<std::string, double>> loads;
+  std::vector<std::pair<std::string, double>> bws;
+  select::SelectionOptions opt;
+  double max_latency = -1.0;
+  bool dot = false;
+
+  auto next_arg = [&](int& i) -> std::string {
+    if (++i >= argc) die("missing value after " + std::string(argv[i - 1]));
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    try {
+      if (a == "--topology") {
+        topology_path = next_arg(i);
+      } else if (a == "--nodes") {
+        m = std::stoi(next_arg(i));
+      } else if (a == "--criterion") {
+        criterion = next_arg(i);
+      } else if (a == "--load") {
+        std::string kv = next_arg(i);
+        auto eq = kv.find('=');
+        if (eq == std::string::npos) die("--load needs NODE=LOADAVG");
+        loads.emplace_back(kv.substr(0, eq), std::stod(kv.substr(eq + 1)));
+      } else if (a == "--bw") {
+        std::string kv = next_arg(i);
+        auto eq = kv.find('=');
+        if (eq == std::string::npos) die("--bw needs LINKNAME=BW");
+        bws.emplace_back(kv.substr(0, eq),
+                         topo::parse_bandwidth(kv.substr(eq + 1)));
+      } else if (a == "--min-bw") {
+        opt.min_bw_bps = topo::parse_bandwidth(next_arg(i));
+      } else if (a == "--min-cpu") {
+        opt.min_cpu_fraction = std::stod(next_arg(i));
+      } else if (a == "--cpu-priority") {
+        opt.cpu_priority = std::stod(next_arg(i));
+      } else if (a == "--bw-priority") {
+        opt.bw_priority = std::stod(next_arg(i));
+      } else if (a == "--max-latency") {
+        max_latency = topo::parse_duration(next_arg(i));
+      } else if (a == "--exhaustive") {
+        opt.exhaustive_balanced = true;
+      } else if (a == "--dot") {
+        dot = true;
+      } else {
+        die("unknown option '" + a + "' (see the header of netsel_cli.cpp)");
+      }
+    } catch (const std::exception& e) {
+      die("bad argument for " + a + ": " + e.what());
+    }
+  }
+  if (topology_path.empty()) die("--topology is required");
+  if (m < 1) die("--nodes M (>= 1) is required");
+
+  std::ifstream in(topology_path);
+  if (!in) die("cannot open " + topology_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  topo::TopologyGraph g;
+  try {
+    g = topo::parse_topology(buffer.str());
+  } catch (const std::exception& e) {
+    die(topology_path + ": " + e.what());
+  }
+
+  remos::NetworkSnapshot snap(g);
+  for (const auto& [name, load] : loads) {
+    auto n = g.find_node(name);
+    if (!n) die("--load: unknown node '" + name + "'");
+    snap.set_loadavg(*n, load);
+  }
+  for (const auto& [name, bw] : bws) {
+    auto l = find_link(g, name);
+    if (!l) die("--bw: unknown link '" + name + "' (names are a--b or the link's name= option)");
+    snap.set_bw(*l, bw);
+  }
+
+  opt.num_nodes = m;
+  select::SelectionResult result;
+  try {
+    if (criterion == "compute") {
+      result = select::select_max_compute(snap, opt);
+    } else if (criterion == "bandwidth") {
+      result = select::select_max_bandwidth(snap, opt);
+    } else if (criterion == "balanced") {
+      result = max_latency >= 0.0
+                   ? select::select_balanced_latency_bound(snap, opt, max_latency)
+                   : select::select_balanced(snap, opt);
+    } else if (criterion == "latency") {
+      result = select::select_min_latency(snap, opt);
+    } else {
+      die("unknown criterion '" + criterion + "'");
+    }
+  } catch (const std::exception& e) {
+    die(std::string("selection failed: ") + e.what());
+  }
+
+  if (!result.feasible) {
+    std::fprintf(stderr, "infeasible: %s\n", result.note.c_str());
+    return 2;
+  }
+  std::printf("selected %zu node(s):", result.nodes.size());
+  for (auto n : result.nodes) std::printf(" %s", g.node(n).name.c_str());
+  std::printf("\n");
+  auto ev = select::evaluate_set(snap, result.nodes, opt);
+  std::printf("min cpu availability:      %.3f\n", ev.min_cpu);
+  if (result.nodes.size() > 1) {
+    std::printf("min pairwise bandwidth:    %.1f Mbps (fraction %.3f)\n",
+                ev.min_pair_bw / 1e6, ev.min_pair_bw_fraction);
+    std::printf("max pairwise latency:      %.3f ms\n",
+                ev.max_pair_latency * 1e3);
+  }
+  std::printf("objective value:           %.4g\n", result.objective);
+  if (!result.note.empty()) std::printf("note: %s\n", result.note.c_str());
+  if (dot) {
+    topo::DotOptions d;
+    d.highlight = result.nodes;
+    std::printf("\n%s", topo::to_dot(g, d).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Choosing the number of nodes, not just the set (paper §3.4, "Variable
+// number of execution nodes"): a strong-scaling FFT-like job divides 96
+// cpu-seconds of work per iteration across m nodes but pays an all-to-all
+// transpose whose cost grows with m. The advisor couples the balanced
+// selection procedure with the performance model and sweeps m — then we
+// *run* the simulated application at every m to verify the advice.
+
+#include <cstdio>
+
+#include "api/advisor.hpp"
+#include "remos/remos.hpp"
+#include "sim/network_sim.hpp"
+#include "topo/generators.hpp"
+#include "util/table.hpp"
+
+using namespace netsel;
+
+namespace {
+
+appsim::LooselySyncConfig strong_scaling_fft(int m) {
+  appsim::LooselySyncConfig cfg;
+  cfg.num_nodes = m;
+  cfg.iterations = 10;
+  cfg.phases = {
+      appsim::PhaseSpec{96.0 / m, 16e6, appsim::CommPattern::AllToAll}};
+  return cfg;
+}
+
+double run_at(int m) {
+  sim::NetworkSim net(topo::testbed());
+  appsim::LooselySynchronousApp app(net, strong_scaling_fft(m));
+  auto nodes = net.topology().compute_nodes();
+  nodes.resize(static_cast<std::size_t>(m));
+  app.start(nodes);
+  while (!app.finished() && net.sim().step()) {
+  }
+  return app.elapsed();
+}
+
+}  // namespace
+
+int main() {
+  sim::NetworkSim net(topo::testbed());
+  remos::Remos remos(net);
+  remos.start();
+  net.sim().run_until(5.0);
+  auto snap = remos.snapshot();
+
+  api::NodeCountOptions opt;
+  opt.min_nodes = 2;
+  opt.max_nodes = 16;
+  auto choice = api::choose_node_count(
+      std::function<appsim::LooselySyncConfig(int)>(strong_scaling_fft), snap,
+      opt);
+  if (!choice.feasible) {
+    std::fprintf(stderr, "advisor found no feasible node count\n");
+    return 1;
+  }
+
+  std::printf("== Node-count advisor: strong-scaling FFT on the testbed ==\n\n");
+  util::TextTable t;
+  t.header({"m", "predicted (s)", "simulated (s)", ""});
+  for (int m = opt.min_nodes; m <= opt.max_nodes; ++m) {
+    double predicted =
+        choice.predictions[static_cast<std::size_t>(m - opt.min_nodes)];
+    double simulated = run_at(m);
+    t.row({std::to_string(m), util::fmt(predicted, 1),
+           util::fmt(simulated, 1), m == choice.num_nodes ? "<- chosen" : ""});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("advisor chose m = %d predicting %.1f s\n", choice.num_nodes,
+              choice.predicted_seconds);
+  return 0;
+}

@@ -1,0 +1,90 @@
+#pragma once
+// Variable number of execution nodes — the paper's §3.4: "The decision
+// procedures developed in this research can be applied to the problem of
+// finding the number *and* the set of nodes for execution, but do not solve
+// the entire problem. These techniques have to be coupled with methods for
+// performance estimation."
+//
+// This module supplies the missing piece: closed-form performance models
+// for the two application structures (validated against the simulator in
+// the tests), and an advisor that couples them with the selection
+// procedures — for each candidate m it selects the best m nodes from the
+// current snapshot, predicts the completion time on them, and returns the
+// (m, node set) with the best prediction.
+
+#include <functional>
+
+#include "appsim/loosely_synchronous.hpp"
+#include "appsim/master_slave.hpp"
+#include "remos/snapshot.hpp"
+#include "select/algorithms.hpp"
+
+namespace netsel::api {
+
+/// Predicted completion time (seconds) of a loosely-synchronous application
+/// on `nodes` under the given snapshot. Model: every iteration's compute
+/// phase is gated by the slowest node (work / min available cpu), and each
+/// communication phase by the set's bottleneck available bandwidth with the
+/// pattern's concurrency factor (all-to-all loads an access link with m-1
+/// concurrent messages; ring with 1; gather/broadcast with m-1 on the root).
+double predict_loosely_synchronous(const appsim::LooselySyncConfig& cfg,
+                                   const remos::NetworkSnapshot& snap,
+                                   const std::vector<topo::NodeId>& nodes,
+                                   const select::SelectionOptions& opt = {});
+
+/// Predicted completion time of a master-slave farm: tasks are spread over
+/// slaves in proportion to their available cpu; each slave's task cycle is
+/// input transfer + compute + output transfer at its own available rates.
+double predict_master_slave(const appsim::MasterSlaveConfig& cfg,
+                            const remos::NetworkSnapshot& snap,
+                            const std::vector<topo::NodeId>& nodes,
+                            const select::SelectionOptions& opt = {});
+
+struct NodeCountChoice {
+  bool feasible = false;
+  int num_nodes = 0;
+  std::vector<topo::NodeId> nodes;
+  double predicted_seconds = 0.0;
+  /// Prediction per candidate m (index 0 = min_nodes), for reporting.
+  std::vector<double> predictions;
+};
+
+struct NodeCountOptions {
+  int min_nodes = 2;
+  int max_nodes = 8;
+  select::Criterion criterion = select::Criterion::Balanced;
+  select::SelectionOptions selection;  ///< num_nodes is overwritten per m
+};
+
+/// Choose the number of nodes and the node set jointly: the caller supplies
+/// the application shape as a function of m (strong scaling, master-slave
+/// farm width, ...), the advisor couples selection with prediction.
+NodeCountChoice choose_node_count(
+    const std::function<appsim::LooselySyncConfig(int)>& config_for_m,
+    const remos::NetworkSnapshot& snap, const NodeCountOptions& opt);
+
+NodeCountChoice choose_node_count(
+    const std::function<appsim::MasterSlaveConfig(int)>& config_for_m,
+    const remos::NetworkSnapshot& snap, const NodeCountOptions& opt);
+
+struct ModelPlacement {
+  bool feasible = false;
+  std::vector<topo::NodeId> nodes;
+  double predicted_seconds = 0.0;
+  /// Which candidate generator produced the winner (diagnostics).
+  std::string source;
+};
+
+/// Model-refined placement, addressing the paper's §3.4 limitation
+/// ("Simultaneous traffic streams": availability between node pairs is
+/// computed independently, so an application whose own concurrent messages
+/// share a link can be misled). Generates candidate node sets from the
+/// selection procedures (balanced, max-compute, max-bandwidth) plus
+/// hop-clustered sets around each network node, then ranks them with the
+/// placement-aware performance model — which does account for the
+/// application's own concurrent flows on shared links.
+ModelPlacement place_with_model(const appsim::LooselySyncConfig& cfg,
+                                const remos::NetworkSnapshot& snap,
+                                const select::SelectionOptions& base = {});
+
+}  // namespace netsel::api

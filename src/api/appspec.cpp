@@ -1,0 +1,45 @@
+#include "api/appspec.hpp"
+
+#include <stdexcept>
+
+namespace netsel::api {
+
+int AppSpec::total_nodes() const {
+  int t = 0;
+  for (const auto& g : groups) t += g.count;
+  return t;
+}
+
+AppSpec AppSpec::spmd(std::string name, int nodes, AppPattern pattern) {
+  AppSpec spec;
+  spec.name = std::move(name);
+  spec.pattern = pattern;
+  NodeGroup g;
+  g.name = "workers";
+  g.count = nodes;
+  spec.groups.push_back(std::move(g));
+  return spec;
+}
+
+void AppSpec::validate() const {
+  if (groups.empty())
+    throw std::invalid_argument("AppSpec: at least one node group required");
+  for (const auto& g : groups) {
+    if (g.count < 1)
+      throw std::invalid_argument("AppSpec: group '" + g.name +
+                                  "' must request >= 1 node");
+  }
+  if (cpu_priority <= 0.0 || bw_priority <= 0.0)
+    throw std::invalid_argument("AppSpec: priorities must be > 0");
+  if (min_bw_bps < 0.0 || min_cpu_fraction < 0.0 ||
+      min_free_memory_bytes < 0.0)
+    throw std::invalid_argument("AppSpec: requirements must be >= 0");
+}
+
+std::vector<topo::NodeId> Placement::flat() const {
+  std::vector<topo::NodeId> out;
+  for (const auto& g : group_nodes) out.insert(out.end(), g.begin(), g.end());
+  return out;
+}
+
+}  // namespace netsel::api

@@ -1,0 +1,72 @@
+#pragma once
+// Application specification interface (paper §2.1): "the number of nodes
+// required for execution, the nature of main computation and communication
+// patterns (e.g. all-to-all or master-slave), relative priority of
+// communication and computation, different node groups within an
+// application (e.g. client and server groups), specific requirements of
+// different groups (e.g. a server may be compiled only for Alpha
+// architecture or must run on some specific machines)."
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netsel::api {
+
+/// Coarse communication structure of the application.
+enum class AppPattern {
+  LooselySynchronous,  ///< barrier-synchronised compute + comm (FFT, Airshed)
+  MasterSlave,         ///< adaptive task farm (MRI)
+  ClientServer,        ///< server group + client group
+  Custom,
+};
+
+/// A group of application processes with common placement requirements.
+struct NodeGroup {
+  std::string name;
+  int count = 1;
+  /// Nodes in this group must carry all of these tags (e.g. {"alpha"}).
+  std::vector<std::string> required_tags;
+  /// If non-empty, the group may only run on these named hosts.
+  std::vector<std::string> allowed_hosts;
+  /// Groups needing the strongest nodes first get priority in assignment
+  /// (e.g. a server group); higher = assigned earlier.
+  int placement_priority = 0;
+};
+
+struct AppSpec {
+  std::string name = "app";
+  AppPattern pattern = AppPattern::LooselySynchronous;
+  /// Node groups; their counts sum to the total node requirement. A spec
+  /// with a single anonymous group is the common SPMD case.
+  std::vector<NodeGroup> groups;
+  /// Relative priority of computation vs communication (§3.3): 1.0 means
+  /// balanced; 2.0 means 50% CPU is treated like 25% bandwidth.
+  double cpu_priority = 1.0;
+  double bw_priority = 1.0;
+  /// Optional fixed requirements (§3.3, plus the §3.4 memory extension).
+  double min_bw_bps = 0.0;
+  double min_cpu_fraction = 0.0;
+  double min_free_memory_bytes = 0.0;
+
+  /// Total nodes across groups.
+  int total_nodes() const;
+  /// Convenience: a single-group SPMD spec.
+  static AppSpec spmd(std::string name, int nodes, AppPattern pattern);
+  /// Throws std::invalid_argument when the spec is inconsistent.
+  void validate() const;
+};
+
+/// A completed placement: nodes per group, in group order.
+struct Placement {
+  bool feasible = false;
+  std::vector<std::vector<topo::NodeId>> group_nodes;
+  std::string note;
+
+  /// Flattened placement in group order.
+  std::vector<topo::NodeId> flat() const;
+};
+
+}  // namespace netsel::api

@@ -1,0 +1,89 @@
+#include "api/migration.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace netsel::api {
+
+MigrationController::MigrationController(remos::Remos& remos,
+                                         appsim::LooselySynchronousApp& app,
+                                         MigrationPolicy policy,
+                                         select::SelectionOptions base_options)
+    : remos_(&remos), app_(&app), policy_(policy), base_(std::move(base_options)) {
+  if (policy_.check_interval <= 0.0)
+    throw std::invalid_argument("MigrationPolicy: check_interval must be > 0");
+  if (policy_.improvement_threshold < 0.0)
+    throw std::invalid_argument("MigrationPolicy: threshold must be >= 0");
+  base_.num_nodes = app.required_nodes();
+}
+
+void MigrationController::start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  schedule_next();
+}
+
+void MigrationController::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void MigrationController::schedule_next() {
+  std::uint64_t my_epoch = epoch_;
+  remos_->monitor().net().sim().schedule_after(
+      policy_.check_interval, [this, my_epoch] {
+        if (!running_ || epoch_ != my_epoch) return;
+        if (app_->finished()) {
+          running_ = false;
+          return;
+        }
+        check();
+        schedule_next();
+      });
+}
+
+void MigrationController::check() {
+  ++checks_;
+  double now = remos_->monitor().net().sim().now();
+  if (now - last_migration_time_ < policy_.cooldown) return;
+
+  // Query with the application's own load and traffic excluded (§3.3).
+  remos::QueryOptions q;
+  q.exclude_owner = app_->owner();
+  auto snap = remos_->snapshot(q);
+
+  auto best = select::select_nodes(policy_.criterion, snap, base_);
+  if (!best.feasible) return;
+
+  // Compare both placements by the same yardstick (exact pairwise
+  // evaluation), not the algorithm's internal bookkeeping value.
+  auto pick = [&](const select::SetEvaluation& ev) {
+    switch (policy_.criterion) {
+      case select::Criterion::MaxCompute: return ev.min_cpu;
+      case select::Criterion::MaxBandwidth: return ev.min_pair_bw;
+      case select::Criterion::Balanced: return ev.balanced;
+    }
+    return ev.balanced;
+  };
+  double current_objective =
+      pick(select::evaluate_set(snap, app_->placement(), base_));
+  double best_objective = pick(select::evaluate_set(snap, best.nodes, base_));
+
+  if (best_objective >
+      current_objective * (1.0 + policy_.improvement_threshold)) {
+    NETSEL_LOG_INFO << "migration triggered at t=" << now << " for app '"
+                    << app_->name() << "': objective " << current_objective
+                    << " -> " << best_objective;
+    app_->migrate(best.nodes, policy_.state_bytes_per_node);
+    ++migrations_;
+    last_migration_time_ = now;
+  } else {
+    NETSEL_LOG_DEBUG << "migration check at t=" << now << ": current "
+                     << current_objective << ", best " << best_objective
+                     << " (below threshold)";
+  }
+}
+
+}  // namespace netsel::api

@@ -1,0 +1,134 @@
+#include "api/service.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "select/patterns.hpp"
+
+namespace netsel::api {
+
+select::Criterion default_criterion(AppPattern p) {
+  switch (p) {
+    case AppPattern::LooselySynchronous: return select::Criterion::Balanced;
+    case AppPattern::MasterSlave: return select::Criterion::Balanced;
+    case AppPattern::ClientServer: return select::Criterion::Balanced;
+    case AppPattern::Custom: return select::Criterion::Balanced;
+  }
+  return select::Criterion::Balanced;
+}
+
+namespace {
+
+/// Eligibility mask for one group: untaken compute nodes matching its tags
+/// and host list.
+std::vector<char> group_mask(const topo::TopologyGraph& g,
+                             const NodeGroup& group,
+                             const std::vector<char>& taken) {
+  std::vector<char> mask(g.node_count(), 0);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    auto n = static_cast<topo::NodeId>(i);
+    if (!g.is_compute(n) || taken[i]) continue;
+    const topo::Node& node = g.node(n);
+    bool ok = true;
+    for (const auto& tag : group.required_tags) {
+      if (!node.has_tag(tag)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && !group.allowed_hosts.empty()) {
+      ok = std::find(group.allowed_hosts.begin(), group.allowed_hosts.end(),
+                     node.name) != group.allowed_hosts.end();
+    }
+    mask[i] = ok ? 1 : 0;
+  }
+  return mask;
+}
+
+}  // namespace
+
+Placement NodeSelectionService::place(const AppSpec& spec,
+                                      const ServiceOptions& opt) const {
+  spec.validate();
+  const auto& g = remos_->topology();
+  auto snap = remos_->snapshot(opt.query);
+
+  // Client-server specs with exactly two groups use the pattern-aware
+  // extension (§3.4): the higher-priority group is the server side, chosen
+  // for maximum compute; clients are scored by the server->client
+  // *directional* bandwidth.
+  if (spec.pattern == AppPattern::ClientServer && spec.groups.size() == 2 &&
+      !opt.criterion.has_value()) {
+    std::size_t si =
+        spec.groups[0].placement_priority >= spec.groups[1].placement_priority
+            ? 0
+            : 1;
+    std::size_t ci = 1 - si;
+    std::vector<char> none(g.node_count(), 0);
+    select::ClientServerOptions cso;
+    cso.num_servers = spec.groups[si].count;
+    cso.num_clients = spec.groups[ci].count;
+    cso.cpu_priority = spec.cpu_priority;
+    cso.bw_priority = spec.bw_priority;
+    cso.server_eligible = group_mask(g, spec.groups[si], none);
+    cso.client_eligible = group_mask(g, spec.groups[ci], none);
+    auto r = select::select_client_server(snap, cso);
+    Placement placement;
+    placement.group_nodes.resize(2);
+    if (!r.feasible) {
+      placement.note = r.note;
+      return placement;
+    }
+    placement.feasible = true;
+    placement.group_nodes[si] = std::move(r.servers);
+    placement.group_nodes[ci] = std::move(r.clients);
+    return placement;
+  }
+
+  select::Criterion criterion =
+      opt.criterion.value_or(default_criterion(spec.pattern));
+
+  // Stable order: higher placement_priority first.
+  std::vector<std::size_t> order(spec.groups.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return spec.groups[a].placement_priority > spec.groups[b].placement_priority;
+  });
+
+  Placement placement;
+  placement.group_nodes.resize(spec.groups.size());
+  std::vector<char> taken(g.node_count(), 0);
+
+  for (std::size_t gi : order) {
+    const NodeGroup& group = spec.groups[gi];
+    select::SelectionOptions sel;
+    sel.num_nodes = group.count;
+    sel.cpu_priority = spec.cpu_priority;
+    sel.bw_priority = spec.bw_priority;
+    sel.min_bw_bps = spec.min_bw_bps;
+    sel.min_cpu_fraction = spec.min_cpu_fraction;
+    sel.min_free_memory_bytes = spec.min_free_memory_bytes;
+    sel.eligible = group_mask(g, group, taken);
+    auto result = select::select_nodes(criterion, snap, sel);
+    if (!result.feasible) {
+      placement.feasible = false;
+      placement.note = "group '" + group.name + "': " +
+                       (result.note.empty() ? "infeasible" : result.note);
+      return placement;
+    }
+    for (topo::NodeId n : result.nodes) taken[static_cast<std::size_t>(n)] = 1;
+    placement.group_nodes[gi] = std::move(result.nodes);
+  }
+  placement.feasible = true;
+  return placement;
+}
+
+select::SelectionResult NodeSelectionService::select(
+    int m, select::Criterion c, const remos::QueryOptions& q) const {
+  auto snap = remos_->snapshot(q);
+  select::SelectionOptions sel;
+  sel.num_nodes = m;
+  return select::select_nodes(c, snap, sel);
+}
+
+}  // namespace netsel::api

@@ -1,0 +1,40 @@
+#pragma once
+// NodeSelectionService: the glue of the paper's framework (§2) — takes an
+// application specification, queries Remos for the network state, and runs
+// the appropriate selection procedure, honouring per-group placement
+// constraints (tags, pinned hosts) and group priorities.
+
+#include "api/appspec.hpp"
+#include "remos/remos.hpp"
+#include "select/algorithms.hpp"
+
+namespace netsel::api {
+
+struct ServiceOptions {
+  /// Criterion override; unset -> chosen from the app pattern
+  /// (master-slave and loosely-synchronous default to Balanced).
+  std::optional<select::Criterion> criterion;
+  remos::QueryOptions query;
+};
+
+/// Default criterion for an application pattern.
+select::Criterion default_criterion(AppPattern p);
+
+class NodeSelectionService {
+ public:
+  explicit NodeSelectionService(remos::Remos& remos) : remos_(&remos) {}
+
+  /// Select nodes for every group of the spec. Groups are placed in
+  /// descending placement_priority (stable within equal priority); each
+  /// group sees only nodes not taken by earlier groups.
+  Placement place(const AppSpec& spec, const ServiceOptions& opt = {}) const;
+
+  /// Single-group convenience: select m nodes for a pattern.
+  select::SelectionResult select(int m, select::Criterion c,
+                                 const remos::QueryOptions& q = {}) const;
+
+ private:
+  remos::Remos* remos_;
+};
+
+}  // namespace netsel::api

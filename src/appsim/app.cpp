@@ -1,0 +1,48 @@
+#include "appsim/app.hpp"
+
+#include <stdexcept>
+
+namespace netsel::appsim {
+
+Application::Application(sim::NetworkSim& net, std::string name)
+    : net_(net), name_(std::move(name)), owner_(net.new_owner()) {}
+
+void Application::start(std::vector<topo::NodeId> nodes,
+                        std::function<void()> on_finish) {
+  if (state_ != AppState::Idle)
+    throw std::logic_error("Application::start: already started");
+  if (static_cast<int>(nodes.size()) != required_nodes())
+    throw std::invalid_argument("Application::start: placement size must be " +
+                                std::to_string(required_nodes()));
+  for (topo::NodeId n : nodes) {
+    if (!net_.has_host(n))
+      throw std::invalid_argument("Application::start: node has no host");
+  }
+  placement_ = std::move(nodes);
+  on_finish_ = std::move(on_finish);
+  state_ = AppState::Running;
+  start_time_ = net_.sim().now();
+  run();
+}
+
+double Application::elapsed() const {
+  if (state_ != AppState::Finished)
+    throw std::logic_error("Application::elapsed: not finished");
+  return finish_time_ - start_time_;
+}
+
+void Application::set_placement(std::vector<topo::NodeId> nodes) {
+  if (nodes.size() != placement_.size())
+    throw std::invalid_argument("set_placement: size change not allowed");
+  placement_ = std::move(nodes);
+}
+
+void Application::finish() {
+  if (state_ != AppState::Running)
+    throw std::logic_error("Application::finish: not running");
+  state_ = AppState::Finished;
+  finish_time_ = net_.sim().now();
+  if (on_finish_) on_finish_();
+}
+
+}  // namespace netsel::appsim

@@ -1,0 +1,68 @@
+#pragma once
+// Application execution framework on the simulated testbed.
+//
+// An Application is placed on a set of compute nodes and drives jobs
+// (compute phases) and flows (communication phases) through the NetworkSim.
+// Its jobs and flows carry the application's owner tag, so they show up in
+// Remos measurements like any real workload — and can be excluded from
+// queries for migration decisions (§3.3).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+#include "topo/graph.hpp"
+
+namespace netsel::appsim {
+
+enum class AppState { Idle, Running, Finished };
+
+class Application {
+ public:
+  explicit Application(sim::NetworkSim& net, std::string name);
+  virtual ~Application() = default;
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  /// Place the application on `nodes` and begin execution at the current
+  /// simulation time. `on_finish` fires once, when the run completes.
+  void start(std::vector<topo::NodeId> nodes,
+             std::function<void()> on_finish = {});
+
+  AppState state() const { return state_; }
+  bool finished() const { return state_ == AppState::Finished; }
+  /// Wall-clock (simulated) execution time; valid once finished.
+  double elapsed() const;
+  double start_time() const { return start_time_; }
+
+  /// The nodes the application currently occupies (updated by migration).
+  const std::vector<topo::NodeId>& placement() const { return placement_; }
+  sim::OwnerTag owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+
+  /// Number of nodes this application requires.
+  virtual int required_nodes() const = 0;
+
+ protected:
+  /// Subclass hook: begin executing on placement().
+  virtual void run() = 0;
+  /// Subclass calls this exactly once when its work completes.
+  void finish();
+  /// Subclass hook for migration: record the new working placement so
+  /// placement() stays truthful for observers (e.g. MigrationController).
+  void set_placement(std::vector<topo::NodeId> nodes);
+
+  sim::NetworkSim& net_;
+
+ private:
+  std::string name_;
+  sim::OwnerTag owner_;
+  AppState state_ = AppState::Idle;
+  std::vector<topo::NodeId> placement_;
+  std::function<void()> on_finish_;
+  double start_time_ = 0.0;
+  double finish_time_ = 0.0;
+};
+
+}  // namespace netsel::appsim

@@ -1,0 +1,165 @@
+#include "appsim/loosely_synchronous.hpp"
+
+#include <stdexcept>
+
+namespace netsel::appsim {
+
+LooselySynchronousApp::LooselySynchronousApp(sim::NetworkSim& net,
+                                             LooselySyncConfig cfg,
+                                             std::string name)
+    : Application(net, std::move(name)), cfg_(std::move(cfg)) {
+  if (cfg_.num_nodes < 1)
+    throw std::invalid_argument("LooselySynchronousApp: need >= 1 node");
+  if (cfg_.iterations < 1)
+    throw std::invalid_argument("LooselySynchronousApp: need >= 1 iteration");
+  if (cfg_.phases.empty())
+    throw std::invalid_argument("LooselySynchronousApp: need >= 1 phase");
+  for (const auto& p : cfg_.phases) {
+    if (p.work_per_node < 0.0 || p.bytes_per_message < 0.0)
+      throw std::invalid_argument("LooselySynchronousApp: negative phase spec");
+    if (p.pattern != CommPattern::None && p.bytes_per_message > 0.0 &&
+        cfg_.num_nodes < 2)
+      throw std::invalid_argument(
+          "LooselySynchronousApp: communication needs >= 2 nodes");
+  }
+}
+
+void LooselySynchronousApp::migrate(std::vector<topo::NodeId> new_nodes,
+                                    double state_bytes_per_node) {
+  if (static_cast<int>(new_nodes.size()) != cfg_.num_nodes)
+    throw std::invalid_argument("migrate: placement size mismatch");
+  if (state_bytes_per_node < 0.0)
+    throw std::invalid_argument("migrate: negative state size");
+  migration_pending_ = true;
+  migration_target_ = std::move(new_nodes);
+  migration_state_bytes_ = state_bytes_per_node;
+}
+
+void LooselySynchronousApp::run() {
+  nodes_ = placement();
+  begin_iteration();
+}
+
+void LooselySynchronousApp::begin_iteration() {
+  phase_index_ = 0;
+  begin_phase();
+}
+
+void LooselySynchronousApp::begin_phase() {
+  const PhaseSpec& p = cfg_.phases[phase_index_];
+  if (p.work_per_node > 0.0) {
+    start_compute();
+  } else if (p.pattern != CommPattern::None && p.bytes_per_message > 0.0) {
+    start_comm();
+  } else {
+    phase_done();
+  }
+}
+
+void LooselySynchronousApp::start_compute() {
+  const PhaseSpec& p = cfg_.phases[phase_index_];
+  outstanding_ = cfg_.num_nodes;
+  for (topo::NodeId n : nodes_) {
+    net_.host(n).submit(p.work_per_node, owner(), [this](sim::JobId) {
+      if (--outstanding_ == 0) {
+        const PhaseSpec& ph = cfg_.phases[phase_index_];
+        if (ph.pattern != CommPattern::None && ph.bytes_per_message > 0.0) {
+          start_comm();
+        } else {
+          phase_done();
+        }
+      }
+    });
+  }
+}
+
+void LooselySynchronousApp::start_comm() {
+  const PhaseSpec& p = cfg_.phases[phase_index_];
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> msgs;
+  const int m = cfg_.num_nodes;
+  switch (p.pattern) {
+    case CommPattern::None:
+      break;
+    case CommPattern::AllToAll:
+      for (int i = 0; i < m; ++i)
+        for (int j = 0; j < m; ++j)
+          if (i != j)
+            msgs.emplace_back(nodes_[static_cast<std::size_t>(i)],
+                              nodes_[static_cast<std::size_t>(j)]);
+      break;
+    case CommPattern::Ring:
+      for (int i = 0; i < m; ++i)
+        msgs.emplace_back(nodes_[static_cast<std::size_t>(i)],
+                          nodes_[static_cast<std::size_t>((i + 1) % m)]);
+      break;
+    case CommPattern::Gather:
+      for (int i = 1; i < m; ++i)
+        msgs.emplace_back(nodes_[static_cast<std::size_t>(i)], nodes_[0]);
+      break;
+    case CommPattern::Broadcast:
+      for (int i = 1; i < m; ++i)
+        msgs.emplace_back(nodes_[0], nodes_[static_cast<std::size_t>(i)]);
+      break;
+  }
+  if (msgs.empty()) {
+    phase_done();
+    return;
+  }
+  outstanding_ = static_cast<int>(msgs.size());
+  for (const auto& [src, dst] : msgs) {
+    net_.network().start_flow(src, dst, p.bytes_per_message, owner(),
+                              [this](sim::FlowId) {
+                                if (--outstanding_ == 0) phase_done();
+                              });
+  }
+}
+
+void LooselySynchronousApp::phase_done() {
+  ++phase_index_;
+  if (phase_index_ < cfg_.phases.size()) {
+    begin_phase();
+  } else {
+    iteration_done();
+  }
+}
+
+void LooselySynchronousApp::iteration_done() {
+  ++iterations_done_;
+  if (iterations_done_ >= cfg_.iterations) {
+    finish();
+    return;
+  }
+  if (migration_pending_) {
+    start_migration();
+  } else {
+    begin_iteration();
+  }
+}
+
+void LooselySynchronousApp::start_migration() {
+  migration_pending_ = false;
+  auto target = std::move(migration_target_);
+  // Transfer each rank's state from its old node to its new node; ranks
+  // staying put migrate for free.
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> moves;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (target[i] != nodes_[i] && migration_state_bytes_ > 0.0)
+      moves.emplace_back(nodes_[i], target[i]);
+  }
+  nodes_ = std::move(target);
+  set_placement(nodes_);
+  ++migrations_done_;
+  if (moves.empty()) {
+    begin_iteration();
+    return;
+  }
+  outstanding_ = static_cast<int>(moves.size());
+  for (const auto& [src, dst] : moves) {
+    net_.network().start_flow(src, dst, migration_state_bytes_, owner(),
+                              [this](sim::FlowId) {
+                                if (--outstanding_ == 0) begin_iteration();
+                              });
+  }
+}
+
+}  // namespace netsel::appsim

@@ -1,0 +1,82 @@
+#pragma once
+// Loosely-synchronous parallel application model — the structure of the
+// paper's FFT and Airshed codes: barrier-separated compute and
+// communication phases repeated for a number of iterations, where "any
+// computation or communication step can become a bottleneck" (§4.3). This
+// is why these codes suffer ~3x slowdowns under load+traffic and why node
+// selection helps them most.
+//
+// Supports migration at iteration boundaries (natural checkpoints): the
+// pending placement takes effect after per-node state transfer flows
+// complete, implementing the paper's §3.3 "dynamic migration" use case.
+
+#include <vector>
+
+#include "appsim/app.hpp"
+
+namespace netsel::appsim {
+
+enum class CommPattern {
+  None,      ///< compute-only phase
+  AllToAll,  ///< every ordered pair exchanges a message (FFT transpose)
+  Ring,      ///< node i sends to node (i+1) mod m (boundary exchange)
+  Gather,    ///< every node sends to node 0 (reduction / I/O phase)
+  Broadcast, ///< node 0 sends to every other node
+};
+
+struct PhaseSpec {
+  /// Reference-CPU-seconds of computation per node in this phase.
+  double work_per_node = 0.0;
+  /// Bytes per message in the communication pattern.
+  double bytes_per_message = 0.0;
+  CommPattern pattern = CommPattern::None;
+};
+
+struct LooselySyncConfig {
+  int num_nodes = 4;
+  int iterations = 1;
+  std::vector<PhaseSpec> phases;
+};
+
+class LooselySynchronousApp final : public Application {
+ public:
+  LooselySynchronousApp(sim::NetworkSim& net, LooselySyncConfig cfg,
+                        std::string name = "loosely-synchronous");
+
+  int required_nodes() const override { return cfg_.num_nodes; }
+  int iterations_completed() const { return iterations_done_; }
+
+  /// Request migration to `new_nodes` (same count). Takes effect at the
+  /// next iteration boundary: each rank transfers `state_bytes_per_node`
+  /// from its old node to its new node, then execution continues. A second
+  /// request before the first is applied replaces it.
+  void migrate(std::vector<topo::NodeId> new_nodes,
+               double state_bytes_per_node);
+
+  int migrations_completed() const { return migrations_done_; }
+
+ protected:
+  void run() override;
+
+ private:
+  void begin_iteration();
+  void begin_phase();
+  void start_compute();
+  void start_comm();
+  void phase_done();
+  void iteration_done();
+  void start_migration();
+
+  LooselySyncConfig cfg_;
+  std::vector<topo::NodeId> nodes_;  // current working placement
+  int iterations_done_ = 0;
+  std::size_t phase_index_ = 0;
+  int outstanding_ = 0;
+
+  bool migration_pending_ = false;
+  std::vector<topo::NodeId> migration_target_;
+  double migration_state_bytes_ = 0.0;
+  int migrations_done_ = 0;
+};
+
+}  // namespace netsel::appsim

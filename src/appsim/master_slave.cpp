@@ -1,0 +1,92 @@
+#include "appsim/master_slave.hpp"
+
+#include <stdexcept>
+
+namespace netsel::appsim {
+
+MasterSlaveApp::MasterSlaveApp(sim::NetworkSim& net, MasterSlaveConfig cfg,
+                               std::string name)
+    : Application(net, std::move(name)), cfg_(cfg) {
+  if (cfg_.num_nodes < 2)
+    throw std::invalid_argument("MasterSlaveApp: need a master and >= 1 slave");
+  if (cfg_.num_tasks < 1)
+    throw std::invalid_argument("MasterSlaveApp: need >= 1 task");
+  if (cfg_.task_work <= 0.0)
+    throw std::invalid_argument("MasterSlaveApp: task_work must be > 0");
+  if (cfg_.input_bytes < 0.0 || cfg_.output_bytes < 0.0)
+    throw std::invalid_argument("MasterSlaveApp: negative message size");
+  if (cfg_.window < 1)
+    throw std::invalid_argument("MasterSlaveApp: window must be >= 1");
+}
+
+const std::vector<int>& MasterSlaveApp::per_slave_completed() const {
+  per_slave_.assign(slaves_.size(), 0);
+  for (std::size_t s = 0; s < slaves_.size(); ++s)
+    per_slave_[s] = slaves_[s].completed;
+  return per_slave_;
+}
+
+void MasterSlaveApp::run() {
+  slaves_.assign(static_cast<std::size_t>(cfg_.num_nodes - 1), SlaveState{});
+  // Prime every slave with up to `window` tasks; inputs prefetch while the
+  // slave computes, so window > 1 hides transfer time behind computation.
+  for (std::size_t s = 0; s < slaves_.size(); ++s) {
+    for (int w = 0; w < cfg_.window; ++w) assign_next(s);
+  }
+}
+
+void MasterSlaveApp::assign_next(std::size_t slave_index) {
+  if (tasks_assigned_ >= cfg_.num_tasks) return;
+  ++tasks_assigned_;
+  topo::NodeId master = placement()[0];
+  topo::NodeId slave = placement()[slave_index + 1];
+  if (cfg_.input_bytes > 0.0 && master != slave) {
+    net_.network().start_flow(
+        master, slave, cfg_.input_bytes, owner(),
+        [this, slave_index](sim::FlowId) { on_input_arrived(slave_index); });
+  } else {
+    on_input_arrived(slave_index);
+  }
+}
+
+void MasterSlaveApp::on_input_arrived(std::size_t slave_index) {
+  slaves_[slave_index].ready += 1;
+  maybe_start_compute(slave_index);
+}
+
+void MasterSlaveApp::maybe_start_compute(std::size_t slave_index) {
+  SlaveState& st = slaves_[slave_index];
+  if (st.computing || st.ready == 0) return;
+  st.ready -= 1;
+  st.computing = true;
+  topo::NodeId slave = placement()[slave_index + 1];
+  net_.host(slave).submit(
+      cfg_.task_work, owner(),
+      [this, slave_index](sim::JobId) { on_task_computed(slave_index); });
+}
+
+void MasterSlaveApp::on_task_computed(std::size_t slave_index) {
+  slaves_[slave_index].computing = false;
+  maybe_start_compute(slave_index);  // next prefetched input, if any
+  topo::NodeId master = placement()[0];
+  topo::NodeId slave = placement()[slave_index + 1];
+  if (cfg_.output_bytes > 0.0 && master != slave) {
+    net_.network().start_flow(
+        slave, master, cfg_.output_bytes, owner(),
+        [this, slave_index](sim::FlowId) { on_result_arrived(slave_index); });
+  } else {
+    on_result_arrived(slave_index);
+  }
+}
+
+void MasterSlaveApp::on_result_arrived(std::size_t slave_index) {
+  slaves_[slave_index].completed += 1;
+  ++tasks_completed_;
+  if (tasks_completed_ >= cfg_.num_tasks) {
+    finish();
+    return;
+  }
+  assign_next(slave_index);
+}
+
+}  // namespace netsel::appsim

@@ -1,0 +1,66 @@
+#pragma once
+// Master-slave task-farm application model — the structure of the paper's
+// MRI code: "MRI uses a master-slave protocol for compute intensive regions
+// that automatically adapts if a compute or communication step slows down"
+// (§4.3). A slow slave simply completes fewer tasks, so the impact of load
+// and traffic is much smaller than for loosely-synchronous codes — the
+// paper's Table 1 shows at most ~25% degradation for MRI vs ~300% for FFT.
+
+#include <vector>
+
+#include "appsim/app.hpp"
+
+namespace netsel::appsim {
+
+struct MasterSlaveConfig {
+  /// Total nodes including the master (placement[0] is the master).
+  int num_nodes = 4;
+  /// Number of independent work units (e.g. images of the epi dataset).
+  int num_tasks = 128;
+  /// Reference-CPU-seconds per task on a slave.
+  double task_work = 4.0;
+  /// Bytes sent master -> slave per task (input chunk).
+  double input_bytes = 1e6;
+  /// Bytes sent slave -> master per task (result).
+  double output_bytes = 2.5e5;
+  /// Tasks a slave may hold concurrently (prefetch window; 1 = classic
+  /// request-response farming).
+  int window = 1;
+};
+
+class MasterSlaveApp final : public Application {
+ public:
+  MasterSlaveApp(sim::NetworkSim& net, MasterSlaveConfig cfg,
+                 std::string name = "master-slave");
+
+  int required_nodes() const override { return cfg_.num_nodes; }
+  int tasks_completed() const { return tasks_completed_; }
+  /// Tasks each slave finished — shows the farm's self-balancing.
+  const std::vector<int>& per_slave_completed() const;
+
+ protected:
+  void run() override;
+
+ private:
+  struct SlaveState {
+    /// Inputs received and waiting for the CPU (the slave computes one
+    /// task at a time; prefetched inputs queue here).
+    int ready = 0;
+    bool computing = false;
+    int completed = 0;
+  };
+
+  void assign_next(std::size_t slave_index);
+  void on_input_arrived(std::size_t slave_index);
+  void maybe_start_compute(std::size_t slave_index);
+  void on_task_computed(std::size_t slave_index);
+  void on_result_arrived(std::size_t slave_index);
+
+  MasterSlaveConfig cfg_;
+  int tasks_assigned_ = 0;
+  int tasks_completed_ = 0;
+  std::vector<SlaveState> slaves_;
+  mutable std::vector<int> per_slave_;  // materialised view for accessors
+};
+
+}  // namespace netsel::appsim

@@ -1,0 +1,94 @@
+#include "appsim/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace netsel::appsim {
+
+PipelineApp::PipelineApp(sim::NetworkSim& net, PipelineConfig cfg,
+                         std::string name)
+    : Application(net, std::move(name)), cfg_(std::move(cfg)) {
+  if (cfg_.num_items < 1)
+    throw std::invalid_argument("PipelineApp: need >= 1 item");
+  if (cfg_.stage_work.size() < 2)
+    throw std::invalid_argument("PipelineApp: need >= 2 stages");
+  if (cfg_.transfer_bytes.size() != cfg_.stage_work.size() - 1)
+    throw std::invalid_argument(
+        "PipelineApp: transfer_bytes must have stages-1 entries");
+  for (double w : cfg_.stage_work) {
+    if (w <= 0.0)
+      throw std::invalid_argument("PipelineApp: stage work must be > 0");
+  }
+  for (double b : cfg_.transfer_bytes) {
+    if (b < 0.0)
+      throw std::invalid_argument("PipelineApp: negative transfer size");
+  }
+}
+
+double PipelineApp::first_item_latency() const {
+  if (first_done_time_ < 0.0)
+    throw std::logic_error("PipelineApp: no item completed yet");
+  return first_done_time_ - start_time();
+}
+
+double PipelineApp::throughput() const {
+  return static_cast<double>(cfg_.num_items) / elapsed();
+}
+
+void PipelineApp::run() {
+  stages_.assign(static_cast<std::size_t>(cfg_.num_stages()), Stage{});
+  feed_source();
+}
+
+void PipelineApp::feed_source() {
+  // The source stage pulls the next item as soon as it is free; all items
+  // are available from the start (a camera/file reader at stage 0).
+  if (items_injected_ >= cfg_.num_items) return;
+  enqueue(0, items_injected_++);
+}
+
+void PipelineApp::enqueue(std::size_t stage, int item) {
+  stages_[stage].queue.push_back(item);
+  maybe_start(stage);
+}
+
+void PipelineApp::maybe_start(std::size_t stage) {
+  Stage& st = stages_[stage];
+  if (st.busy || st.queue.empty()) return;
+  int item = st.queue.front();
+  st.queue.erase(st.queue.begin());
+  st.busy = true;
+  net_.host(placement()[stage]).submit(
+      cfg_.stage_work[stage], owner(),
+      [this, stage, item](sim::JobId) { stage_computed(stage, item); });
+}
+
+void PipelineApp::stage_computed(std::size_t stage, int item) {
+  stages_[stage].busy = false;
+  maybe_start(stage);
+  if (stage == 0) feed_source();
+
+  if (stage + 1 >= stages_.size()) {
+    item_done(item);
+    return;
+  }
+  double bytes = cfg_.transfer_bytes[stage];
+  topo::NodeId src = placement()[stage];
+  topo::NodeId dst = placement()[stage + 1];
+  if (bytes > 0.0 && src != dst) {
+    net_.network().start_flow(src, dst, bytes, owner(),
+                              [this, stage, item](sim::FlowId) {
+                                enqueue(stage + 1, item);
+                              });
+  } else {
+    enqueue(stage + 1, item);
+  }
+}
+
+void PipelineApp::item_done(int item) {
+  (void)item;
+  ++items_completed_;
+  if (first_done_time_ < 0.0) first_done_time_ = net_.sim().now();
+  if (items_completed_ >= cfg_.num_items) finish();
+}
+
+}  // namespace netsel::appsim

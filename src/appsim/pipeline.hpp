@@ -1,0 +1,64 @@
+#pragma once
+// Data-parallel pipeline application model. The paper's related-work
+// anchors include the authors' own latency-throughput tradeoff study for
+// data-parallel pipelines [23], and §3.4 calls for richer execution
+// patterns; this model supplies the pipeline pattern: a chain of stages,
+// one per node, where items stream through stage computations and
+// stage-to-stage transfers. Steady-state throughput is gated by the
+// slowest stage *or* slowest inter-stage link — which is what makes
+// placement interesting (see select::select_pipeline).
+
+#include <vector>
+
+#include "appsim/app.hpp"
+
+namespace netsel::appsim {
+
+struct PipelineConfig {
+  /// Items to push through the pipeline.
+  int num_items = 64;
+  /// Reference-CPU-seconds per item per stage; size = number of stages.
+  std::vector<double> stage_work;
+  /// Bytes transferred between consecutive stages; size = stages - 1.
+  std::vector<double> transfer_bytes;
+
+  int num_stages() const { return static_cast<int>(stage_work.size()); }
+};
+
+class PipelineApp final : public Application {
+ public:
+  PipelineApp(sim::NetworkSim& net, PipelineConfig cfg,
+              std::string name = "pipeline");
+
+  int required_nodes() const override { return cfg_.num_stages(); }
+  int items_completed() const { return items_completed_; }
+
+  /// Simulated time from start until the FIRST item left the pipeline
+  /// (the latency metric of the latency-throughput tradeoff); valid once
+  /// at least one item completed.
+  double first_item_latency() const;
+  /// Items per second over the whole run; valid once finished.
+  double throughput() const;
+
+ protected:
+  void run() override;
+
+ private:
+  void feed_source();
+  void enqueue(std::size_t stage, int item);
+  void maybe_start(std::size_t stage);
+  void stage_computed(std::size_t stage, int item);
+  void item_done(int item);
+
+  PipelineConfig cfg_;
+  int items_injected_ = 0;
+  int items_completed_ = 0;
+  double first_done_time_ = -1.0;
+  struct Stage {
+    std::vector<int> queue;  // FIFO of item ids awaiting compute
+    bool busy = false;
+  };
+  std::vector<Stage> stages_;
+};
+
+}  // namespace netsel::appsim

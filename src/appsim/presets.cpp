@@ -1,0 +1,50 @@
+#include "appsim/presets.hpp"
+
+namespace netsel::appsim {
+
+// Calibration notes (4 nodes on one 100 Mbps switch, idle testbed):
+// all-to-all of `s` bytes/pair with 4 nodes puts 3 concurrent flows on each
+// access-link direction, so every flow gets ~33 Mbps and the phase takes
+// s * 8 * 3 / 100e6 seconds. With s = 2.5 MB that is 0.60 s; adding 0.90 s
+// of compute gives a 1.50 s iteration and 32 * 1.5 = 48 s total.
+LooselySyncConfig fft1k() {
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.iterations = 32;
+  cfg.phases = {
+      PhaseSpec{0.90, 2.5e6, CommPattern::AllToAll},
+  };
+  return cfg;
+}
+
+// 12 half-hour steps; per step: transport (4.2 s compute + 12 MB ring
+// boundary exchange, ~0.96 s on an idle switch), chemistry (5.5 s compute),
+// and a gather of 6 MB from 4 ranks into rank 0 (~1.92 s on the shared
+// master down-link) — about 12.6 s per step, ~150 s total.
+LooselySyncConfig airshed() {
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.iterations = 12;
+  cfg.phases = {
+      PhaseSpec{4.2, 12e6, CommPattern::Ring},
+      PhaseSpec{5.5, 0.0, CommPattern::None},
+      PhaseSpec{0.0, 6e6, CommPattern::Gather},
+  };
+  return cfg;
+}
+
+// 240 images; per image ~4 MB input, 5.55 s of processing, 1 MB result.
+// Three slaves pipeline independently; per-slave cycle is roughly
+// ~1.2 s of transfers + 5.55 s compute: 240 * 6.75 / 3 = 540 s.
+MasterSlaveConfig mri() {
+  MasterSlaveConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_tasks = 240;
+  cfg.task_work = 5.55;
+  cfg.input_bytes = 4e6;
+  cfg.output_bytes = 1e6;
+  cfg.window = 1;
+  return cfg;
+}
+
+}  // namespace netsel::appsim

@@ -1,0 +1,31 @@
+#pragma once
+// Workload presets modelling the paper's three applications (§4.3),
+// calibrated so the unloaded, well-placed execution times on the simulated
+// Fig. 4 testbed approximate the paper's reference column of Table 1:
+// FFT 48 s, Airshed 150 s, MRI 540 s. EXPERIMENTS.md records the measured
+// calibration.
+
+#include "appsim/loosely_synchronous.hpp"
+#include "appsim/master_slave.hpp"
+
+namespace netsel::appsim {
+
+/// 2-D FFT of a 1K x 1K complex grid on 4 nodes, 32 iterations. Each
+/// iteration computes the row/column FFTs then performs the transpose —
+/// an all-to-all where each node ships 3/4 of its 5 MB block, ~1.25 MB to
+/// each peer. Loosely synchronous: the slowest node or busiest path gates
+/// every iteration.
+LooselySyncConfig fft1k();
+
+/// Airshed pollution modelling, 6 simulated hours on 5 nodes. Each of the
+/// 12 half-hour steps runs a transport phase (compute + ring boundary
+/// exchange), a chemistry phase (compute-dominated), and a concentration
+/// I/O phase (gather to rank 0).
+LooselySyncConfig airshed();
+
+/// Magnetic resonance imaging (epi dataset) on 4 nodes: a master farms
+/// per-image processing tasks to 3 slaves; the protocol self-balances when
+/// a slave or its path slows down.
+MasterSlaveConfig mri();
+
+}  // namespace netsel::appsim

@@ -1,0 +1,133 @@
+#include "exp/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "appsim/presets.hpp"
+#include "remos/remos.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::exp {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::Random: return "random";
+    case Policy::Static: return "static";
+    case Policy::AutoBalanced: return "auto-balanced";
+    case Policy::AutoCompute: return "auto-compute";
+    case Policy::AutoBandwidth: return "auto-bandwidth";
+  }
+  return "?";
+}
+
+int AppCase::num_nodes() const {
+  if (const auto* ls = std::get_if<appsim::LooselySyncConfig>(&config))
+    return ls->num_nodes;
+  return std::get<appsim::MasterSlaveConfig>(config).num_nodes;
+}
+
+TrialResult run_trial(const AppCase& app, const Scenario& scenario,
+                      Policy policy, std::uint64_t seed) {
+  sim::NetworkSim net(topo::testbed());
+  util::Rng master(seed);
+
+  load::HostLoadGenerator loadgen(net, scenario.load, master.fork("load"));
+  load::TrafficGenerator trafficgen(net, scenario.traffic,
+                                    master.fork("traffic"));
+  remos::Remos remos(net, scenario.monitor);
+
+  if (scenario.load_on) loadgen.start();
+  if (scenario.traffic_on) trafficgen.start();
+  remos.start();
+  net.sim().run_until(scenario.warmup);
+
+  // --- Node selection. ---
+  remos::QueryOptions q;
+  if (scenario.forecaster) q.forecaster = scenario.forecaster;
+  auto snap = remos.snapshot(q);
+  select::SelectionOptions sel = scenario.selection;
+  sel.num_nodes = app.num_nodes();
+
+  select::SelectionResult chosen;
+  switch (policy) {
+    case Policy::Random: {
+      util::Rng prng = master.fork("placement");
+      chosen = select::select_random(snap, sel, prng);
+      break;
+    }
+    case Policy::Static:
+      chosen = select::select_static(snap, sel);
+      break;
+    case Policy::AutoBalanced:
+      chosen = select::select_balanced(snap, sel);
+      break;
+    case Policy::AutoCompute:
+      chosen = select::select_max_compute(snap, sel);
+      break;
+    case Policy::AutoBandwidth:
+      chosen = select::select_max_bandwidth(snap, sel);
+      break;
+  }
+  if (!chosen.feasible)
+    throw std::runtime_error("run_trial: selection infeasible: " + chosen.note);
+
+  // --- Execute the application. ---
+  std::unique_ptr<appsim::Application> application;
+  if (const auto* ls = std::get_if<appsim::LooselySyncConfig>(&app.config)) {
+    application =
+        std::make_unique<appsim::LooselySynchronousApp>(net, *ls, app.name);
+  } else {
+    application = std::make_unique<appsim::MasterSlaveApp>(
+        net, std::get<appsim::MasterSlaveConfig>(app.config), app.name);
+  }
+  application->start(chosen.nodes);
+  while (!application->finished()) {
+    if (net.sim().now() > scenario.max_sim_time)
+      throw std::runtime_error("run_trial: exceeded max_sim_time");
+    if (!net.sim().step())
+      throw std::logic_error("run_trial: event queue drained mid-run");
+  }
+
+  TrialResult result;
+  result.elapsed = application->elapsed();
+  result.nodes = chosen.nodes;
+  return result;
+}
+
+util::OnlineStats run_cell(const AppCase& app, const Scenario& scenario,
+                           Policy policy, int trials, std::uint64_t seed0) {
+  util::OnlineStats stats;
+  for (int t = 0; t < trials; ++t) {
+    stats.add(run_trial(app, scenario, policy, seed0 + static_cast<std::uint64_t>(t))
+                  .elapsed);
+  }
+  return stats;
+}
+
+AppCase fft_case() { return AppCase{"FFT (1K)", appsim::fft1k()}; }
+AppCase airshed_case() { return AppCase{"Airshed", appsim::airshed()}; }
+AppCase mri_case() { return AppCase{"MRI", appsim::mri()}; }
+
+Scenario table1_scenario(bool load_on, bool traffic_on) {
+  Scenario s;
+  s.load_on = load_on;
+  s.traffic_on = traffic_on;
+  // Calibrated generator settings; derivation in EXPERIMENTS.md. The heavy
+  // Pareto tail (jobs up to an hour) and elephant transfers are what make
+  // current measurements predictive — the paper's §4.2 rationale.
+  s.load.mean_interarrival = 65.0;
+  s.load.p_exponential = 0.35;
+  s.load.exp_mean = 5.0;
+  s.load.pareto_alpha = 1.1;
+  s.load.pareto_xmin = 10.0;
+  s.load.pareto_xmax = 3600.0;
+  s.traffic.mean_interarrival = 0.5;
+  s.traffic.size_mean_bytes = 16e6;
+  s.traffic.size_sigma = 2.0;
+  s.monitor.poll_interval = 2.0;
+  s.monitor.history_window = 30.0;
+  s.warmup = 600.0;
+  return s;
+}
+
+}  // namespace netsel::exp

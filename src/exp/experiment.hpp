@@ -1,0 +1,84 @@
+#pragma once
+// Experiment harness reproducing the paper's §4 methodology: applications
+// executed on the (simulated) Fig. 4 testbed under combinations of the
+// synthetic load and traffic generators, with nodes chosen either randomly
+// or by the automatic selection procedures; each cell averaged over many
+// trials ("Each measurement is the average of a number of executions
+// spanning several hours").
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "appsim/loosely_synchronous.hpp"
+#include "appsim/master_slave.hpp"
+#include "load/load_generator.hpp"
+#include "load/traffic_generator.hpp"
+#include "remos/monitor.hpp"
+#include "select/algorithms.hpp"
+#include "topo/graph.hpp"
+#include "util/stats.hpp"
+
+namespace netsel::exp {
+
+/// Node-selection policy under test.
+enum class Policy {
+  Random,        ///< the paper's baseline
+  Static,        ///< first-m (static properties; ~= random on this testbed)
+  AutoBalanced,  ///< the paper's automatic selection (Fig. 3)
+  AutoCompute,   ///< compute-only criterion (§3.2)
+  AutoBandwidth, ///< bandwidth-only criterion (Fig. 2)
+};
+
+const char* policy_name(Policy p);
+
+/// An application under test: either of the two structural models.
+struct AppCase {
+  std::string name;
+  std::variant<appsim::LooselySyncConfig, appsim::MasterSlaveConfig> config;
+
+  int num_nodes() const;
+};
+
+/// Environment for a trial.
+struct Scenario {
+  bool load_on = false;
+  bool traffic_on = false;
+  load::LoadGenConfig load;
+  load::TrafficGenConfig traffic;
+  remos::MonitorConfig monitor;
+  /// Simulated seconds of generator + monitor activity before selection, so
+  /// host load and link traffic reach steady state and Remos has history.
+  double warmup = 600.0;
+  /// Abort a trial if the app has not finished by then (guards pathology).
+  double max_sim_time = 100000.0;
+  /// Selection options applied by the Auto* policies.
+  select::SelectionOptions selection;
+  /// Forecaster used for the Remos query at selection time.
+  remos::ForecasterPtr forecaster;  // null -> LastValue
+};
+
+struct TrialResult {
+  double elapsed = 0.0;
+  std::vector<topo::NodeId> nodes;
+};
+
+/// Run one trial on a fresh simulated testbed seeded with `seed`.
+TrialResult run_trial(const AppCase& app, const Scenario& scenario,
+                      Policy policy, std::uint64_t seed);
+
+/// Run `trials` independent trials (seeds seed0, seed0+1, ...) and return
+/// the execution-time statistics.
+util::OnlineStats run_cell(const AppCase& app, const Scenario& scenario,
+                           Policy policy, int trials, std::uint64_t seed0);
+
+/// The three applications of Table 1 on the Fig. 4 testbed.
+AppCase fft_case();
+AppCase airshed_case();
+AppCase mri_case();
+
+/// The scenario parameterisation used by bench_table1 (calibrated so that
+/// the degradations land in the paper's regime; see EXPERIMENTS.md).
+Scenario table1_scenario(bool load_on, bool traffic_on);
+
+}  // namespace netsel::exp

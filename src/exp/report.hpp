@@ -1,0 +1,29 @@
+#pragma once
+// Structured export of experiment results, so measured data can feed
+// external plotting/analysis without scraping the text tables. CSV is the
+// lingua franca here: one row per (application, condition, policy) cell
+// with the per-cell statistics, plus a long-form per-trial export.
+
+#include <string>
+#include <vector>
+
+#include "exp/table1.hpp"
+
+namespace netsel::exp {
+
+/// CSV of the Table-1 grid: one row per cell with mean, 95% CI half-width
+/// and trial count, paper value alongside. Columns:
+/// app,nodes,condition,policy,mean_s,ci95_s,trials,paper_s,reference_s
+std::string table1_csv(const std::vector<MeasuredRow>& rows);
+
+/// Long-form per-trial CSV for one cell:
+/// app,condition,policy,seed,elapsed_s,nodes (node names joined by '+').
+/// Runs the trials itself (same seeds as run_cell).
+std::string trials_csv(const AppCase& app, const Scenario& scenario,
+                       Policy policy, int trials, std::uint64_t seed0);
+
+/// Minimal CSV quoting: wraps fields containing commas/quotes/newlines in
+/// double quotes with internal quotes doubled (RFC 4180).
+std::string csv_escape(const std::string& field);
+
+}  // namespace netsel::exp

@@ -1,0 +1,68 @@
+#pragma once
+// Table 1 of the paper, as data, plus the full reproduction pipeline:
+// run every cell (3 applications x {load, traffic, load+traffic} x
+// {random, automatic} + unloaded reference) and format the result next to
+// the paper's numbers.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace netsel::exp {
+
+/// Condition index within a Table-1 row.
+enum : int { kLoadOnly = 0, kTrafficOnly = 1, kLoadAndTraffic = 2 };
+
+/// The paper's measured values (seconds).
+struct PaperRow {
+  const char* app;
+  int nodes;
+  std::array<double, 3> random_sel;  ///< load, traffic, load+traffic
+  std::array<double, 3> auto_sel;
+  double reference;  ///< unloaded testbed
+};
+
+inline constexpr std::array<PaperRow, 3> kPaperTable1{{
+    {"FFT (1K)", 4, {112.6, 80.3, 142.6}, {82.6, 64.6, 118.5}, 48.0},
+    {"Airshed", 5, {393.8, 281.3, 530.2}, {254.0, 188.5, 355.1}, 150.0},
+    {"MRI", 4, {683.0, 591.0, 776.0}, {594.0, 571.0, 667.0}, 540.0},
+}};
+
+struct MeasuredCell {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  int trials = 0;
+};
+
+struct MeasuredRow {
+  std::string app;
+  int nodes = 0;
+  std::array<MeasuredCell, 3> random_sel;
+  std::array<MeasuredCell, 3> auto_sel;
+  double reference = 0.0;
+};
+
+struct Table1Options {
+  int trials = 15;
+  std::uint64_t seed = 1999;
+  Policy auto_policy = Policy::AutoBalanced;
+  Policy baseline_policy = Policy::Random;
+  /// Print one progress line per cell to stderr.
+  bool verbose = false;
+};
+
+/// Run the whole Table-1 experiment grid.
+std::vector<MeasuredRow> run_table1(const Table1Options& opt = {});
+
+/// Paper-style table: measured values with % change vs random, paper values
+/// alongside.
+std::string format_table1(const std::vector<MeasuredRow>& rows);
+
+/// The paper's headline analysis: "the increase in execution time due to
+/// traffic and/or load is approximately cut in half with automatic node
+/// selection" — computed for the measured rows and for the paper's rows.
+std::string format_slowdown_summary(const std::vector<MeasuredRow>& rows);
+
+}  // namespace netsel::exp

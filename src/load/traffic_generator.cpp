@@ -1,0 +1,90 @@
+#include "load/traffic_generator.hpp"
+
+#include <stdexcept>
+
+namespace netsel::load {
+
+TrafficGenerator::TrafficGenerator(sim::NetworkSim& net, TrafficGenConfig cfg,
+                                   util::Rng rng)
+    : net_(net),
+      cfg_(cfg),
+      size_dist_(util::LogNormal::from_mean(cfg.size_mean_bytes, cfg.size_sigma)),
+      rng_(std::move(rng)),
+      hosts_(net.topology().compute_nodes()) {
+  if (cfg_.mean_interarrival <= 0.0)
+    throw std::invalid_argument("TrafficGen: mean_interarrival must be > 0");
+  if (cfg_.intensity < 0.0)
+    throw std::invalid_argument("TrafficGen: intensity must be >= 0");
+  if (hosts_.size() < 2)
+    throw std::invalid_argument("TrafficGen: need at least 2 compute nodes");
+}
+
+void TrafficGenerator::start() {
+  if (running_ || cfg_.intensity == 0.0) return;
+  running_ = true;
+  ++epoch_;
+  schedule_next();
+}
+
+void TrafficGenerator::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+double TrafficGenerator::offered_bits_per_second() const {
+  if (cfg_.intensity == 0.0) return 0.0;
+  return size_dist_.mean() * 8.0 / (cfg_.mean_interarrival / cfg_.intensity);
+}
+
+void TrafficGenerator::schedule_next() {
+  double dt = rng_.exponential_mean(cfg_.mean_interarrival / cfg_.intensity);
+  std::uint64_t my_epoch = epoch_;
+  net_.sim().schedule_after(dt, [this, my_epoch] {
+    if (!running_ || epoch_ != my_epoch) return;
+    auto n = static_cast<std::int64_t>(hosts_.size());
+    auto si = static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
+    auto di = static_cast<std::size_t>(rng_.uniform_int(0, n - 2));
+    if (di >= si) ++di;  // uniform over ordered pairs of distinct nodes
+    double bytes = size_dist_.sample(rng_);
+    net_.network().start_flow(hosts_[si], hosts_[di], bytes,
+                              sim::kBackgroundOwner);
+    ++messages_;
+    total_bytes_ += bytes;
+    schedule_next();
+  });
+}
+
+BulkStream::BulkStream(sim::NetworkSim& net, topo::NodeId src, topo::NodeId dst,
+                       double chunk_bytes)
+    : net_(net), src_(src), dst_(dst), chunk_bytes_(chunk_bytes) {
+  if (src == dst) throw std::invalid_argument("BulkStream: src == dst");
+  if (chunk_bytes <= 0.0)
+    throw std::invalid_argument("BulkStream: chunk_bytes must be > 0");
+}
+
+void BulkStream::start() {
+  if (running_) return;
+  running_ = true;
+  launch_chunk();
+}
+
+void BulkStream::stop() {
+  running_ = false;
+  if (flow_active_) {
+    double left = net_.network().cancel_flow(current_flow_);
+    bytes_done_ += chunk_bytes_ - left;
+    flow_active_ = false;
+  }
+}
+
+void BulkStream::launch_chunk() {
+  current_flow_ = net_.network().start_flow(
+      src_, dst_, chunk_bytes_, sim::kBackgroundOwner, [this](sim::FlowId) {
+        flow_active_ = false;
+        bytes_done_ += chunk_bytes_;
+        if (running_) launch_chunk();
+      });
+  flow_active_ = true;
+}
+
+}  // namespace netsel::load

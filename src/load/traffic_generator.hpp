@@ -1,0 +1,87 @@
+#pragma once
+// Synthetic network-traffic generator (paper §4.2).
+//
+// "For generating network traffic, messages were periodically sent between
+//  random nodes. Message interarrival times were Poisson, with message
+//  length having a LogNormal distribution."
+//
+// Arrivals form one global Poisson process; each message picks a uniformly
+// random ordered pair of distinct compute nodes and becomes a max-min fair
+// flow on the simulated network.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace netsel::load {
+
+struct TrafficGenConfig {
+  /// Mean interarrival between messages across the whole network, seconds.
+  double mean_interarrival = 0.5;
+  /// LogNormal size parameters. Defaults give a mean around 4 MB with a
+  /// heavy upper tail — "large high-speed data transfers we would be most
+  /// concerned about in our target environment".
+  double size_mean_bytes = 4e6;
+  double size_sigma = 1.2;
+  /// Multiplies the arrival rate; 0 disables.
+  double intensity = 1.0;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(sim::NetworkSim& net, TrafficGenConfig cfg, util::Rng rng);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  std::uint64_t messages_generated() const { return messages_; }
+  double total_bytes_generated() const { return total_bytes_; }
+  /// Offered network load in bits/second across the whole network.
+  double offered_bits_per_second() const;
+
+ private:
+  void schedule_next();
+
+  sim::NetworkSim& net_;
+  TrafficGenConfig cfg_;
+  util::LogNormal size_dist_;
+  util::Rng rng_;
+  std::vector<topo::NodeId> hosts_;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t messages_ = 0;
+  double total_bytes_ = 0.0;
+};
+
+/// A persistent bulk stream between a fixed pair of nodes — the "traffic
+/// stream from m-16 to m-18" of the paper's Fig. 4. Implemented as
+/// back-to-back large transfers so the stream holds its max-min share
+/// continuously until stopped.
+class BulkStream {
+ public:
+  BulkStream(sim::NetworkSim& net, topo::NodeId src, topo::NodeId dst,
+             double chunk_bytes = 64e6);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  double bytes_transferred() const { return bytes_done_; }
+
+ private:
+  void launch_chunk();
+
+  sim::NetworkSim& net_;
+  topo::NodeId src_;
+  topo::NodeId dst_;
+  double chunk_bytes_;
+  bool running_ = false;
+  sim::FlowId current_flow_ = 0;
+  bool flow_active_ = false;
+  double bytes_done_ = 0.0;
+};
+
+}  // namespace netsel::load

@@ -1,0 +1,167 @@
+#include "remos/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace netsel::remos {
+
+TimeSeries::TimeSeries(double window_seconds) : window_(window_seconds) {
+  if (window_seconds <= 0.0)
+    throw std::invalid_argument("TimeSeries: window must be > 0");
+}
+
+void TimeSeries::record(double time, double value) {
+  if (!samples_.empty() && time < samples_.back().time)
+    throw std::invalid_argument("TimeSeries: time must be non-decreasing");
+  samples_.push_back({time, value});
+  trim(time);
+}
+
+void TimeSeries::trim(double now) {
+  while (!samples_.empty() && samples_.front().time < now - window_)
+    samples_.pop_front();
+}
+
+const Sample& TimeSeries::latest() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries: empty");
+  return samples_.back();
+}
+
+double LastValue::estimate(const TimeSeries& ts, double fallback) const {
+  return ts.empty() ? fallback : ts.latest().value;
+}
+
+double WindowMean::estimate(const TimeSeries& ts, double fallback) const {
+  if (ts.empty()) return fallback;
+  double sum = 0.0;
+  for (const Sample& s : ts.samples()) sum += s.value;
+  return sum / static_cast<double>(ts.size());
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("Ewma: alpha must be in (0,1]");
+}
+
+double Ewma::estimate(const TimeSeries& ts, double fallback) const {
+  if (ts.empty()) return fallback;
+  double est = ts.samples().front().value;
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    est = alpha_ * ts.samples()[i].value + (1.0 - alpha_) * est;
+  return est;
+}
+
+std::string Ewma::name() const {
+  std::ostringstream os;
+  os << "ewma(alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+double WindowMax::estimate(const TimeSeries& ts, double fallback) const {
+  if (ts.empty()) return fallback;
+  double mx = ts.samples().front().value;
+  for (const Sample& s : ts.samples()) mx = std::max(mx, s.value);
+  return mx;
+}
+
+LinearTrend::LinearTrend(double horizon_seconds) : horizon_(horizon_seconds) {
+  if (horizon_seconds < 0.0)
+    throw std::invalid_argument("LinearTrend: horizon must be >= 0");
+}
+
+LinearTrend LinearTrend::one_step() {
+  LinearTrend f(0.0);
+  f.one_step_ = true;
+  return f;
+}
+
+double LinearTrend::estimate(const TimeSeries& ts, double fallback) const {
+  if (ts.empty()) return fallback;
+  if (ts.size() == 1) return ts.latest().value;
+  double n = static_cast<double>(ts.size());
+  double st = 0.0, sv = 0.0, stt = 0.0, stv = 0.0;
+  for (const Sample& s : ts.samples()) {
+    st += s.time;
+    sv += s.value;
+    stt += s.time * s.time;
+    stv += s.time * s.value;
+  }
+  double denom = n * stt - st * st;
+  if (denom <= 1e-12) return ts.latest().value;  // degenerate timestamps
+  double slope = (n * stv - st * sv) / denom;
+  double intercept = (sv - slope * st) / n;
+  double horizon = horizon_;
+  if (one_step_) {
+    horizon = (ts.latest().time - ts.samples().front().time) / (n - 1.0);
+  }
+  double at = ts.latest().time + horizon;
+  return std::max(intercept + slope * at, 0.0);
+}
+
+std::string LinearTrend::name() const {
+  std::ostringstream os;
+  if (one_step_) {
+    os << "linear-trend(one-step)";
+  } else {
+    os << "linear-trend(horizon=" << horizon_ << "s)";
+  }
+  return os.str();
+}
+
+Adaptive::Adaptive()
+    : Adaptive(std::vector<ForecasterPtr>{
+          std::make_shared<LastValue>(), std::make_shared<WindowMean>(),
+          std::make_shared<Ewma>(0.3),
+          std::make_shared<LinearTrend>(LinearTrend::one_step())}) {}
+
+Adaptive::Adaptive(std::vector<ForecasterPtr> candidates)
+    : candidates_(std::move(candidates)) {
+  if (candidates_.empty())
+    throw std::invalid_argument("Adaptive: need candidates");
+  for (const auto& c : candidates_) {
+    if (!c) throw std::invalid_argument("Adaptive: null candidate");
+  }
+}
+
+std::size_t Adaptive::best_candidate(const TimeSeries& ts) const {
+  if (ts.size() < 3) return 0;
+  // Replay: predict sample i from the prefix [0, i) and score the absolute
+  // error. Prefix replay rebuilds a small series per step — histories are
+  // bounded by the monitor window, so this stays tiny.
+  std::vector<double> mae(candidates_.size(), 0.0);
+  std::size_t evaluations = 0;
+  for (std::size_t i = 2; i < ts.size(); ++i) {
+    TimeSeries prefix(ts.window());
+    for (std::size_t j = 0; j < i; ++j)
+      prefix.record(ts.samples()[j].time, ts.samples()[j].value);
+    double actual = ts.samples()[i].value;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      double predicted = candidates_[c]->estimate(prefix, actual);
+      mae[c] += std::abs(predicted - actual);
+    }
+    ++evaluations;
+  }
+  (void)evaluations;
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < candidates_.size(); ++c) {
+    if (mae[c] < mae[best]) best = c;
+  }
+  return best;
+}
+
+double Adaptive::estimate(const TimeSeries& ts, double fallback) const {
+  if (ts.empty()) return fallback;
+  return candidates_[best_candidate(ts)]->estimate(ts, fallback);
+}
+
+std::string Adaptive::name() const {
+  std::ostringstream os;
+  os << "adaptive(";
+  for (std::size_t c = 0; c < candidates_.size(); ++c)
+    os << (c ? ", " : "") << candidates_[c]->name();
+  os << ")";
+  return os.str();
+}
+
+}  // namespace netsel::remos

@@ -1,0 +1,128 @@
+#pragma once
+// Time-series histories and forecasters for the Remos monitor.
+//
+// Remos "can be queried for information based on a fixed window of history,
+// current network conditions, or an estimate of the future availability"
+// (paper §2.2). The paper's node selection "simply uses the most recent
+// measurements as a forecast for the future" (§5, LastValue); WindowMean and
+// Ewma implement the fixed-window and smoothed estimates, compared in the
+// forecaster ablation bench.
+
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netsel::remos {
+
+struct Sample {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+/// Bounded time-window sample buffer.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double window_seconds = 60.0);
+
+  void record(double time, double value);
+  /// Drop samples older than `now - window`.
+  void trim(double now);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const Sample& latest() const;
+  const std::deque<Sample>& samples() const { return samples_; }
+  double window() const { return window_; }
+
+ private:
+  double window_;
+  std::deque<Sample> samples_;
+};
+
+/// Estimator of the near-future value of a metric from its history.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  /// Returns `fallback` when the series is empty (monitor not warmed up).
+  virtual double estimate(const TimeSeries& ts, double fallback) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using ForecasterPtr = std::shared_ptr<const Forecaster>;
+
+/// Most recent measurement — the paper's choice.
+class LastValue final : public Forecaster {
+ public:
+  double estimate(const TimeSeries& ts, double fallback) const override;
+  std::string name() const override { return "last-value"; }
+};
+
+/// Arithmetic mean over the retained window.
+class WindowMean final : public Forecaster {
+ public:
+  double estimate(const TimeSeries& ts, double fallback) const override;
+  std::string name() const override { return "window-mean"; }
+};
+
+/// Exponentially weighted moving average over the samples (newest weighted
+/// most), weight (1-alpha)^k for the k-th newest sample.
+class Ewma final : public Forecaster {
+ public:
+  explicit Ewma(double alpha = 0.3);
+  double estimate(const TimeSeries& ts, double fallback) const override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+};
+
+/// Maximum over the retained window — a conservative estimate for
+/// availability planning (assume the busiest recently-seen state persists).
+class WindowMax final : public Forecaster {
+ public:
+  double estimate(const TimeSeries& ts, double fallback) const override;
+  std::string name() const override { return "window-max"; }
+};
+
+/// Least-squares linear trend over the window, extrapolated `horizon`
+/// seconds past the newest sample (clamped at >= 0: loads, bandwidths and
+/// memory are non-negative). With fewer than 2 samples falls back to the
+/// last value.
+class LinearTrend final : public Forecaster {
+ public:
+  explicit LinearTrend(double horizon_seconds = 0.0);
+  /// Extrapolate one mean sample spacing past the newest sample — the
+  /// natural horizon for one-step-ahead scoring (used by Adaptive).
+  static LinearTrend one_step();
+  double estimate(const TimeSeries& ts, double fallback) const override;
+  std::string name() const override;
+
+ private:
+  double horizon_;    ///< seconds; ignored when one_step_
+  bool one_step_ = false;
+};
+
+/// NWS-style adaptive forecaster (the paper's reference [26], Wolski's
+/// Network Weather Service, selects among candidate predictors by their
+/// track record): for each candidate, replay the history and measure the
+/// mean absolute error of its one-step-ahead predictions; answer with the
+/// lowest-error candidate's estimate.
+class Adaptive final : public Forecaster {
+ public:
+  /// Default candidates: last-value, window-mean, ewma(0.3), linear trend.
+  Adaptive();
+  explicit Adaptive(std::vector<ForecasterPtr> candidates);
+  double estimate(const TimeSeries& ts, double fallback) const override;
+  std::string name() const override;
+
+  /// Index of the candidate that would answer for this series (for tests
+  /// and diagnostics); 0 when the series is too short to discriminate.
+  std::size_t best_candidate(const TimeSeries& ts) const;
+
+ private:
+  std::vector<ForecasterPtr> candidates_;
+};
+
+}  // namespace netsel::remos

@@ -1,0 +1,128 @@
+#include "remos/monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netsel::remos {
+
+Monitor::Monitor(sim::NetworkSim& net, MonitorConfig cfg)
+    : net_(net), cfg_(cfg) {
+  if (cfg_.poll_interval <= 0.0)
+    throw std::invalid_argument("Monitor: poll_interval must be > 0");
+  if (cfg_.history_window < cfg_.poll_interval)
+    throw std::invalid_argument("Monitor: window must cover >= one poll");
+  load_hist_.assign(net.topology().node_count(), TimeSeries(cfg_.history_window));
+  memory_hist_.assign(net.topology().node_count(),
+                      TimeSeries(cfg_.history_window));
+  link_hist_.assign(net.topology().link_count() * 2,
+                    TimeSeries(cfg_.history_window));
+  owner_load_hist_.resize(net.topology().node_count());
+  owner_link_hist_.resize(net.topology().link_count() * 2);
+}
+
+void Monitor::start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  poll_once();
+  schedule_next();
+}
+
+void Monitor::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void Monitor::poll_once() {
+  double now = net_.sim().now();
+  const auto& g = net_.topology();
+
+  // Discover application owners active anywhere on the testbed; once seen,
+  // an owner is recorded on every sweep (zeros included) so its series
+  // decays correctly after it goes quiet or migrates away.
+  auto note_owner = [this](sim::OwnerTag o) {
+    if (o == sim::kBackgroundOwner) return;
+    if (std::find(seen_owners_.begin(), seen_owners_.end(), o) ==
+        seen_owners_.end())
+      seen_owners_.push_back(o);
+  };
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    auto id = static_cast<topo::NodeId>(i);
+    if (!g.is_compute(id)) continue;
+    for (sim::OwnerTag o : net_.host(id).tracked_owners()) note_owner(o);
+  }
+  for (sim::OwnerTag o : net_.network().active_owners()) note_owner(o);
+
+  auto owner_series = [this](std::map<sim::OwnerTag, TimeSeries>& m,
+                             sim::OwnerTag o) -> TimeSeries& {
+    auto it = m.find(o);
+    if (it == m.end())
+      it = m.emplace(o, TimeSeries(cfg_.history_window)).first;
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    auto id = static_cast<topo::NodeId>(i);
+    if (!g.is_compute(id)) continue;
+    const sim::Host& h = net_.host(id);
+    load_hist_[i].record(now, h.load_average());
+    double total_mem = g.node(id).memory_bytes;
+    memory_hist_[i].record(now,
+                           std::max(total_mem - h.memory_in_use(), 0.0));
+    for (sim::OwnerTag o : seen_owners_)
+      owner_series(owner_load_hist_[i], o).record(now, h.owner_load_average(o));
+  }
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    for (bool fwd : {true, false}) {
+      std::size_t d = l * 2 + (fwd ? 0 : 1);
+      link_hist_[d].record(now, net_.network().link_used_bw(id, fwd));
+      for (sim::OwnerTag o : seen_owners_)
+        owner_series(owner_link_hist_[d], o)
+            .record(now, net_.network().link_used_bw_by(id, fwd, o));
+    }
+  }
+  ++polls_;
+}
+
+const TimeSeries* Monitor::owner_load_history(topo::NodeId n,
+                                              sim::OwnerTag o) const {
+  const auto& m = owner_load_hist_.at(static_cast<std::size_t>(n));
+  auto it = m.find(o);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+const TimeSeries* Monitor::owner_link_history(topo::LinkId l, bool forward,
+                                              sim::OwnerTag o) const {
+  const auto& m =
+      owner_link_hist_.at(static_cast<std::size_t>(l) * 2 + (forward ? 0 : 1));
+  auto it = m.find(o);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+void Monitor::schedule_next() {
+  std::uint64_t my_epoch = epoch_;
+  net_.sim().schedule_after(cfg_.poll_interval, [this, my_epoch] {
+    if (!running_ || epoch_ != my_epoch) return;
+    poll_once();
+    schedule_next();
+  });
+}
+
+const TimeSeries& Monitor::load_history(topo::NodeId n) const {
+  if (!net_.topology().is_compute(n))
+    throw std::invalid_argument("Monitor: load history of a network node");
+  return load_hist_.at(static_cast<std::size_t>(n));
+}
+
+const TimeSeries& Monitor::memory_history(topo::NodeId n) const {
+  if (!net_.topology().is_compute(n))
+    throw std::invalid_argument("Monitor: memory history of a network node");
+  return memory_hist_.at(static_cast<std::size_t>(n));
+}
+
+const TimeSeries& Monitor::link_history(topo::LinkId l, bool forward) const {
+  return link_hist_.at(static_cast<std::size_t>(l) * 2 + (forward ? 0 : 1));
+}
+
+}  // namespace netsel::remos

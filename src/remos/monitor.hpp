@@ -1,0 +1,79 @@
+#pragma once
+// The Remos monitor: an SNMP-equivalent measurement layer over the
+// simulated testbed. "The local area implementation of Remos is based on
+// SNMP processes on network nodes and entails a very low overhead" (§2.2).
+//
+// Polls every compute node's load average and every link direction's
+// utilised bandwidth on a fixed interval into bounded time-series. Queries
+// therefore see *measured, possibly stale* state — never the simulator's
+// ground truth — reproducing the information conditions the paper's
+// selection procedures actually operated under.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "remos/history.hpp"
+#include "sim/network_sim.hpp"
+
+namespace netsel::remos {
+
+struct MonitorConfig {
+  double poll_interval = 2.0;    ///< seconds between SNMP sweeps
+  double history_window = 30.0;  ///< seconds of samples retained
+};
+
+class Monitor {
+ public:
+  Monitor(sim::NetworkSim& net, MonitorConfig cfg = {});
+
+  /// Begin polling at the current simulation time (first sweep immediate).
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Take one measurement sweep immediately (also used internally).
+  void poll_once();
+
+  const TimeSeries& load_history(topo::NodeId n) const;
+  const TimeSeries& link_history(topo::LinkId l, bool forward) const;
+  /// Free-memory history (bytes) of a compute node (§3.4 extension);
+  /// all-zero for nodes whose topology does not model memory.
+  const TimeSeries& memory_history(topo::NodeId n) const;
+
+  /// Per-application histories: the monitor attributes each application
+  /// owner's own load and traffic into separate series, so that queries can
+  /// exclude an application's own contribution *time-aligned with the same
+  /// measurement sweeps* (required for migration, §3.3 — comparing a stale
+  /// total against an instantaneous own-contribution would make an
+  /// application's own past communication phases look like competing
+  /// traffic). Returns nullptr when the owner was never seen.
+  const TimeSeries* owner_load_history(topo::NodeId n, sim::OwnerTag o) const;
+  const TimeSeries* owner_link_history(topo::LinkId l, bool forward,
+                                       sim::OwnerTag o) const;
+
+  std::uint64_t polls_completed() const { return polls_; }
+  const MonitorConfig& config() const { return cfg_; }
+  sim::NetworkSim& net() const { return net_; }
+
+ private:
+  void schedule_next();
+
+  sim::NetworkSim& net_;
+  MonitorConfig cfg_;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t polls_ = 0;
+  /// Indexed by NodeId; unused entries (network nodes) stay empty.
+  std::vector<TimeSeries> load_hist_;
+  std::vector<TimeSeries> memory_hist_;
+  /// Indexed by link * 2 + direction.
+  std::vector<TimeSeries> link_hist_;
+  /// Application owners ever observed (background excluded).
+  std::vector<sim::OwnerTag> seen_owners_;
+  /// Per-node and per-direction owner-attributed series.
+  std::vector<std::map<sim::OwnerTag, TimeSeries>> owner_load_hist_;
+  std::vector<std::map<sim::OwnerTag, TimeSeries>> owner_link_hist_;
+};
+
+}  // namespace netsel::remos

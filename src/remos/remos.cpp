@@ -1,0 +1,107 @@
+#include "remos/remos.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace netsel::remos {
+
+namespace {
+/// Snapshot bandwidth floor: selection needs strictly positive availability
+/// so that fully saturated links still order sensibly below lightly used
+/// ones (1 kbps on a >= 1 Mbps link is effectively "unusable").
+constexpr double kBwFloor = 1e3;
+}  // namespace
+
+Remos::Remos(sim::NetworkSim& net, MonitorConfig cfg)
+    : net_(net), monitor_(net, cfg) {}
+
+double Remos::load_average(topo::NodeId n, const QueryOptions& opt) const {
+  if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
+  double load = opt.forecaster->estimate(monitor_.load_history(n), 0.0);
+  if (opt.exclude_owner != sim::kBackgroundOwner) {
+    // Subtract the application's own contribution from the same measurement
+    // sweeps (never a live value against a stale total: the series must be
+    // time-aligned or the app's own past activity masquerades as load).
+    if (const TimeSeries* own = monitor_.owner_load_history(n, opt.exclude_owner))
+      load -= opt.forecaster->estimate(*own, 0.0);
+  }
+  return std::max(load, 0.0);
+}
+
+double Remos::forecast_link_used(topo::LinkId l, bool forward,
+                                 const QueryOptions& opt) const {
+  if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
+  double used = opt.forecaster->estimate(monitor_.link_history(l, forward), 0.0);
+  if (opt.exclude_owner != sim::kBackgroundOwner) {
+    if (const TimeSeries* own =
+            monitor_.owner_link_history(l, forward, opt.exclude_owner))
+      used -= opt.forecaster->estimate(*own, 0.0);
+  }
+  return std::max(used, 0.0);
+}
+
+double Remos::path_latency(topo::NodeId src, topo::NodeId dst) const {
+  double total = 0.0;
+  for (topo::LinkId l : net_.routes().route(src, dst))
+    total += net_.topology().link(l).latency;
+  return total;
+}
+
+NetworkSnapshot Remos::snapshot(const QueryOptions& opt) const {
+  const auto& g = net_.topology();
+  NetworkSnapshot snap(g);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    auto id = static_cast<topo::NodeId>(i);
+    if (!g.is_compute(id)) continue;
+    snap.set_loadavg(id, load_average(id, opt));
+    snap.set_free_memory(
+        id, opt.forecaster->estimate(monitor_.memory_history(id),
+                                     g.node(id).memory_bytes));
+  }
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    const topo::Link& lk = g.link(id);
+    double avail_ab = lk.capacity_ab - forecast_link_used(id, true, opt);
+    double avail_ba = lk.capacity_ba - forecast_link_used(id, false, opt);
+    snap.set_bw_dir(id, true, std::max(avail_ab, kBwFloor));
+    snap.set_bw_dir(id, false, std::max(avail_ba, kBwFloor));
+  }
+  return snap;
+}
+
+double Remos::available_bandwidth(topo::NodeId src, topo::NodeId dst,
+                                  const QueryOptions& opt) const {
+  if (src == dst) return std::numeric_limits<double>::infinity();
+  auto nodes = net_.routes().route_nodes(src, dst);
+  auto links = net_.routes().route(src, dst);
+  double bw = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const topo::Link& lk = net_.topology().link(links[i]);
+    bool forward = lk.a == nodes[i];
+    double cap = forward ? lk.capacity_ab : lk.capacity_ba;
+    double avail = cap - forecast_link_used(links[i], forward, opt);
+    bw = std::min(bw, std::max(avail, 0.0));
+  }
+  return bw;
+}
+
+double Remos::projected_flow_bandwidth(topo::NodeId src, topo::NodeId dst,
+                                       const QueryOptions& opt) const {
+  if (src == dst) return std::numeric_limits<double>::infinity();
+  auto nodes = net_.routes().route_nodes(src, dst);
+  auto links = net_.routes().route(src, dst);
+  double bw = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const topo::Link& lk = net_.topology().link(links[i]);
+    bool forward = lk.a == nodes[i];
+    double cap = forward ? lk.capacity_ab : lk.capacity_ba;
+    double residual = std::max(cap - forecast_link_used(links[i], forward, opt), 0.0);
+    int n_flows = net_.network().link_flow_count(links[i], forward);
+    double fair = cap / static_cast<double>(n_flows + 1);
+    bw = std::min(bw, std::max(residual, fair));
+  }
+  return bw;
+}
+
+}  // namespace netsel::remos

@@ -1,0 +1,83 @@
+#pragma once
+// The Remos query API (paper §2.2): network information at two levels of
+// abstraction — *flow queries* (available bandwidth between node pairs,
+// accounting for sharing) and the *logical network topology* (the graph plus
+// dynamic load/availability annotations: a NetworkSnapshot).
+
+#include <memory>
+
+#include "remos/history.hpp"
+#include "remos/monitor.hpp"
+#include "remos/snapshot.hpp"
+#include "sim/network_sim.hpp"
+
+namespace netsel::remos {
+
+struct QueryOptions {
+  /// Forecaster applied to measurement histories; the paper "simply uses
+  /// the most recent measurements as a forecast for the future".
+  ForecasterPtr forecaster = std::make_shared<LastValue>();
+  /// When non-zero, the named application's own load and traffic are
+  /// excluded from the answer — required for dynamic migration (§3.3):
+  /// "the load and traffic caused by the application itself must be
+  /// captured separately as it is not due to a competing process."
+  sim::OwnerTag exclude_owner = sim::kBackgroundOwner;
+};
+
+class Remos {
+ public:
+  Remos(sim::NetworkSim& net, MonitorConfig cfg = {});
+
+  /// Start the monitoring processes (call once, before querying).
+  void start() { monitor_.start(); }
+  Monitor& monitor() { return monitor_; }
+  const Monitor& monitor() const { return monitor_; }
+
+  /// Logical-topology query: the graph annotated with measured cpu and
+  /// available-bandwidth values. This is the structural information "that
+  /// cannot be captured by measurements between pairs of compute nodes".
+  NetworkSnapshot snapshot(const QueryOptions& opt = {}) const;
+
+  /// Flow query: bottleneck *residual* bandwidth on the static route
+  /// between two nodes (capacity minus measured traffic, per direction
+  /// traversed).
+  double available_bandwidth(topo::NodeId src, topo::NodeId dst,
+                             const QueryOptions& opt = {}) const;
+
+  /// Flow query accounting for sharing: the max-min fair share a new flow
+  /// could expect on the route — max(residual, capacity/(flows+1)) per
+  /// traversed direction, minimised over the route.
+  double projected_flow_bandwidth(topo::NodeId src, topo::NodeId dst,
+                                  const QueryOptions& opt = {}) const;
+
+  /// Measured load average of a node under the given options.
+  double load_average(topo::NodeId n, const QueryOptions& opt = {}) const;
+
+  /// One-way latency of the static route between two nodes (sum of link
+  /// latencies). Remos exports "capacity, utilization and latency of
+  /// network links" (§2.2); the paper defers using it to future work, the
+  /// latency-aware selection extension consumes it.
+  double path_latency(topo::NodeId src, topo::NodeId dst) const;
+
+  const topo::TopologyGraph& topology() const { return net_.topology(); }
+
+  /// Logical-topology query scoped to "the relevant part of the network"
+  /// (§2.2): the sub-topology spanned by the routes among `nodes`. Combine
+  /// with snapshot() + project_snapshot() for an annotated view.
+  topo::LogicalSubgraph logical_subgraph(
+      const std::vector<topo::NodeId>& nodes) const {
+    return topo::extract_subgraph(net_.topology(), nodes);
+  }
+
+ private:
+  /// Forecast utilisation of one link direction, with optional owner
+  /// exclusion (exclusion uses the current owner contribution, since SNMP
+  /// counters cannot attribute bytes to applications).
+  double forecast_link_used(topo::LinkId l, bool forward,
+                            const QueryOptions& opt) const;
+
+  sim::NetworkSim& net_;
+  Monitor monitor_;
+};
+
+}  // namespace netsel::remos

@@ -1,0 +1,110 @@
+#include "remos/snapshot.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace netsel::remos {
+
+NetworkSnapshot::NetworkSnapshot(const topo::TopologyGraph& g)
+    : graph_(&g),
+      cpu_(g.node_count(), 0.0),
+      free_memory_(g.node_count(), 0.0),
+      bw_(g.link_count(), 0.0),
+      bw_dir_(g.link_count() * 2, 0.0) {
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    auto id = static_cast<topo::NodeId>(i);
+    if (g.is_compute(id)) {
+      cpu_[i] = 1.0;
+      free_memory_[i] = g.node(id).memory_bytes;
+    }
+  }
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    const topo::Link& lk = g.link(static_cast<topo::LinkId>(l));
+    bw_[l] = lk.capacity_min();
+    bw_dir_[l * 2 + 0] = lk.capacity_ab;
+    bw_dir_[l * 2 + 1] = lk.capacity_ba;
+  }
+}
+
+double NetworkSnapshot::cpu_reference(topo::NodeId n,
+                                      double reference_capacity) const {
+  if (reference_capacity <= 0.0)
+    throw std::invalid_argument("cpu_reference: reference must be > 0");
+  return cpu(n) * graph_->node(n).cpu_capacity / reference_capacity;
+}
+
+double NetworkSnapshot::bwfactor(topo::LinkId l) const {
+  double peak = maxbw(l);
+  return peak > 0.0 ? bw(l) / peak : 0.0;
+}
+
+double NetworkSnapshot::bw_reference(topo::LinkId l,
+                                     double reference_capacity) const {
+  if (reference_capacity <= 0.0)
+    throw std::invalid_argument("bw_reference: reference must be > 0");
+  return bw(l) / reference_capacity;
+}
+
+void NetworkSnapshot::set_free_memory(topo::NodeId n, double bytes) {
+  if (!graph_->is_compute(n))
+    throw std::invalid_argument("set_free_memory: not a compute node");
+  if (bytes < 0.0) bytes = 0.0;
+  free_memory_[static_cast<std::size_t>(n)] = bytes;
+}
+
+void NetworkSnapshot::set_cpu(topo::NodeId n, double fraction) {
+  if (!graph_->is_compute(n))
+    throw std::invalid_argument("set_cpu: not a compute node");
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("set_cpu: fraction must be in [0,1]");
+  cpu_[static_cast<std::size_t>(n)] = fraction;
+}
+
+void NetworkSnapshot::set_loadavg(topo::NodeId n, double loadavg) {
+  if (loadavg < 0.0) loadavg = 0.0;
+  set_cpu(n, 1.0 / (1.0 + loadavg));
+}
+
+void NetworkSnapshot::set_bw(topo::LinkId l, double bits_per_second) {
+  if (bits_per_second < 0.0)
+    throw std::invalid_argument("set_bw: bandwidth must be >= 0");
+  bw_[static_cast<std::size_t>(l)] = bits_per_second;
+  bw_dir_[static_cast<std::size_t>(l) * 2 + 0] = bits_per_second;
+  bw_dir_[static_cast<std::size_t>(l) * 2 + 1] = bits_per_second;
+}
+
+void NetworkSnapshot::set_bw_dir(topo::LinkId l, bool forward,
+                                 double bits_per_second) {
+  if (bits_per_second < 0.0)
+    throw std::invalid_argument("set_bw_dir: bandwidth must be >= 0");
+  bw_dir_[static_cast<std::size_t>(l) * 2 + (forward ? 0 : 1)] = bits_per_second;
+  bw_[static_cast<std::size_t>(l)] =
+      std::min(bw_dir_[static_cast<std::size_t>(l) * 2 + 0],
+               bw_dir_[static_cast<std::size_t>(l) * 2 + 1]);
+}
+
+double NetworkSnapshot::path_bw(const std::vector<topo::LinkId>& links) const {
+  double b = std::numeric_limits<double>::infinity();
+  for (topo::LinkId l : links) b = std::min(b, bw(l));
+  return b;
+}
+
+NetworkSnapshot project_snapshot(const NetworkSnapshot& parent,
+                                 const topo::LogicalSubgraph& sub) {
+  NetworkSnapshot out(sub.graph);
+  for (std::size_t i = 0; i < sub.parent_node.size(); ++i) {
+    auto sub_id = static_cast<topo::NodeId>(i);
+    if (!sub.graph.is_compute(sub_id)) continue;
+    out.set_cpu(sub_id, parent.cpu(sub.parent_node[i]));
+    out.set_free_memory(sub_id, parent.free_memory(sub.parent_node[i]));
+  }
+  for (std::size_t l = 0; l < sub.parent_link.size(); ++l) {
+    auto sub_id = static_cast<topo::LinkId>(l);
+    out.set_bw_dir(sub_id, true, parent.bw_dir(sub.parent_link[l], true));
+    out.set_bw_dir(sub_id, false, parent.bw_dir(sub.parent_link[l], false));
+  }
+  return out;
+}
+
+}  // namespace netsel::remos

@@ -1,0 +1,89 @@
+#pragma once
+// NetworkSnapshot: the dynamic network state consumed by the node-selection
+// algorithms (paper §3.1).
+//
+//   cpu(i)      = 1/(1 + loadaverage_i), the fraction of node i's own
+//                 computation power available to an application;
+//   bw(i,j)     = currently available bandwidth on a link;
+//   maxbw(i,j)  = peak bandwidth (static, lives in the topology);
+//   bwfactor    = bw / maxbw.
+//
+// For bidirectional links the available capacity is the minimum of the two
+// directions (§3.3).
+
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/subgraph.hpp"
+
+namespace netsel::remos {
+
+class NetworkSnapshot {
+ public:
+  /// Build with everything fully available (no load, idle links).
+  ///
+  /// The snapshot is a *view*: it keeps a reference to `g`, which must
+  /// outlive the snapshot (and must not be moved while the snapshot is
+  /// alive). Remos::snapshot() returns views of the simulator's topology,
+  /// which satisfies this by construction.
+  explicit NetworkSnapshot(const topo::TopologyGraph& g);
+
+  const topo::TopologyGraph& graph() const { return *graph_; }
+
+  /// The paper's cpu function for a compute node: fraction in (0, 1].
+  double cpu(topo::NodeId n) const { return cpu_.at(static_cast<std::size_t>(n)); }
+  /// Available compute capacity in reference-node units:
+  /// cpu(n) * capacity(n) / reference_capacity (§3.3, heterogeneous nodes).
+  double cpu_reference(topo::NodeId n, double reference_capacity = 1.0) const;
+
+  /// Available bandwidth of a link, bits/second (min over directions).
+  double bw(topo::LinkId l) const { return bw_.at(static_cast<std::size_t>(l)); }
+  /// Available bandwidth of one direction (forward = a->b). The paper's
+  /// undirected treatment uses bw() = min of both; custom execution
+  /// patterns (§3.4, client-server) evaluate the significant direction
+  /// only.
+  double bw_dir(topo::LinkId l, bool forward) const {
+    return bw_dir_.at(static_cast<std::size_t>(l) * 2 + (forward ? 0 : 1));
+  }
+  double maxbw(topo::LinkId l) const { return graph_->link(l).capacity_min(); }
+  /// Fraction of peak bandwidth available on this link.
+  double bwfactor(topo::LinkId l) const;
+  /// Available bandwidth normalised by a reference link capacity
+  /// (§3.3, heterogeneous links): fraction of the reference capacity this
+  /// link can currently deliver, possibly > 1 for faster links.
+  double bw_reference(topo::LinkId l, double reference_capacity) const;
+
+  /// Free memory of a compute node in bytes (§3.4 extension). Nodes whose
+  /// topology does not model memory report 0 and never satisfy a memory
+  /// requirement.
+  double free_memory(topo::NodeId n) const {
+    return free_memory_.at(static_cast<std::size_t>(n));
+  }
+  void set_free_memory(topo::NodeId n, double bytes);
+
+  void set_cpu(topo::NodeId n, double fraction);
+  void set_loadavg(topo::NodeId n, double loadavg);
+  /// Set both directions to the same availability.
+  void set_bw(topo::LinkId l, double bits_per_second);
+  /// Set one direction; bw(l) becomes the min of the two directions.
+  void set_bw_dir(topo::LinkId l, bool forward, double bits_per_second);
+
+  /// Bottleneck available bandwidth along a node path given as link ids.
+  double path_bw(const std::vector<topo::LinkId>& links) const;
+
+ private:
+  const topo::TopologyGraph* graph_;
+  std::vector<double> cpu_;          // per node; 0 for network nodes
+  std::vector<double> free_memory_;  // per node, bytes
+  std::vector<double> bw_;           // per link, min over directions
+  std::vector<double> bw_dir_;       // per link direction (2 per link)
+};
+
+/// Project a snapshot of the parent topology onto an extracted logical
+/// sub-topology (§2.2 "the relevant part of the network"): availability of
+/// surviving nodes and links carries over. The returned snapshot views
+/// `sub.graph`, which must outlive it.
+NetworkSnapshot project_snapshot(const NetworkSnapshot& parent,
+                                 const topo::LogicalSubgraph& sub);
+
+}  // namespace netsel::remos

@@ -1,0 +1,44 @@
+#pragma once
+// The paper's node-selection algorithms (§3.2) and baselines (§4.3).
+
+#include "remos/snapshot.hpp"
+#include "select/options.hpp"
+#include "util/rng.hpp"
+
+namespace netsel::select {
+
+/// §3.2 "Maximize computation capacity": the m eligible nodes with the
+/// highest available cpu, subject to the fixed-bandwidth requirement (the
+/// set must live in one component of the graph after unusable links are
+/// dropped, so the nodes can actually communicate).
+SelectionResult select_max_compute(const remos::NetworkSnapshot& snap,
+                                   const SelectionOptions& opt);
+
+/// Figure 2: maximise the minimum available bandwidth between any pair of
+/// selected nodes by repeatedly deleting the minimum-available-bandwidth
+/// edge while a component with >= m eligible compute nodes survives.
+SelectionResult select_max_bandwidth(const remos::NetworkSnapshot& snap,
+                                     const SelectionOptions& opt);
+
+/// Figure 3: greedy balanced optimisation — maximise
+/// min(min fractional cpu / cpu_priority, min fractional bw / bw_priority).
+SelectionResult select_balanced(const remos::NetworkSnapshot& snap,
+                                const SelectionOptions& opt);
+
+/// Dispatch by criterion.
+SelectionResult select_nodes(Criterion c, const remos::NetworkSnapshot& snap,
+                             const SelectionOptions& opt);
+
+/// Baseline of §4.3: m eligible nodes uniformly at random (must be
+/// connected through usable links, like any valid placement).
+SelectionResult select_random(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt, util::Rng& rng);
+
+/// Static baseline: ignores dynamic availability entirely and picks the
+/// first m eligible nodes by id (equivalently, by static capacity on a
+/// homogeneous testbed). The paper notes random and static selection give
+/// virtually identical performance on an all-high-speed-links testbed.
+SelectionResult select_static(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt);
+
+}  // namespace netsel::select

@@ -1,0 +1,70 @@
+// Baseline selection policies used by the paper's evaluation (§4.3):
+// random node selection, and static selection ("node selection based on
+// static network properties give[s] virtually identical performance" to
+// random on an all-high-speed testbed).
+
+#include "select/algorithms.hpp"
+#include "select/detail.hpp"
+#include "select/objective.hpp"
+
+namespace netsel::select {
+
+namespace {
+std::vector<topo::NodeId> all_eligible(const remos::NetworkSnapshot& snap,
+                                       const SelectionOptions& opt) {
+  std::vector<topo::NodeId> out;
+  for (std::size_t i = 0; i < snap.graph().node_count(); ++i) {
+    auto n = static_cast<topo::NodeId>(i);
+    if (node_eligible(snap, n, opt)) out.push_back(n);
+  }
+  return out;
+}
+
+SelectionResult finish(const remos::NetworkSnapshot& snap,
+                       const SelectionOptions& opt,
+                       std::vector<topo::NodeId> nodes) {
+  SelectionResult result;
+  result.feasible = true;
+  auto ev = evaluate_set(snap, nodes, opt);
+  result.nodes = std::move(nodes);
+  result.min_cpu = ev.min_cpu;
+  result.min_bw_fraction = ev.min_pair_bw_fraction;
+  result.objective = ev.balanced;
+  return result;
+}
+}  // namespace
+
+SelectionResult select_random(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt, util::Rng& rng) {
+  validate_options(snap, opt);
+  auto pool = all_eligible(snap, opt);
+  if (static_cast<int>(pool.size()) < opt.num_nodes) {
+    SelectionResult r;
+    r.note = "not enough eligible nodes";
+    return r;
+  }
+  // Partial Fisher-Yates for the first m positions.
+  for (int i = 0; i < opt.num_nodes; ++i) {
+    auto j = static_cast<std::size_t>(rng.uniform_int(
+        i, static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(opt.num_nodes));
+  std::sort(pool.begin(), pool.end());
+  return finish(snap, opt, std::move(pool));
+}
+
+SelectionResult select_static(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt) {
+  validate_options(snap, opt);
+  auto pool = all_eligible(snap, opt);
+  if (static_cast<int>(pool.size()) < opt.num_nodes) {
+    SelectionResult r;
+    r.note = "not enough eligible nodes";
+    return r;
+  }
+  pool.resize(static_cast<std::size_t>(opt.num_nodes));
+  return finish(snap, opt, std::move(pool));
+}
+
+}  // namespace netsel::select

@@ -1,0 +1,33 @@
+#pragma once
+// Exact reference optimiser: enumerate every m-subset of eligible compute
+// nodes and maximise the requested criterion, measured by the *true*
+// pairwise-path objective (evaluate_set). Exponential — for tests and
+// small-graph ablations only; this is the yardstick that certifies the
+// Fig. 2 algorithm optimal and quantifies the Fig. 3 greedy gap.
+
+#include <cstdint>
+#include <vector>
+
+#include "remos/snapshot.hpp"
+#include "select/objective.hpp"
+#include "select/options.hpp"
+
+namespace netsel::select {
+
+struct BruteForceResult {
+  bool feasible = false;
+  std::vector<topo::NodeId> nodes;
+  /// Criterion value of the best subset: min cpu for MaxCompute, min
+  /// pairwise bandwidth (bits/s) for MaxBandwidth, the balanced objective
+  /// (on pairwise-path fractions) for Balanced.
+  double objective = 0.0;
+  std::uint64_t subsets_examined = 0;
+};
+
+/// Throws std::invalid_argument when the enumeration would exceed
+/// `max_subsets` (guard against accidental exponential blowups in tests).
+BruteForceResult brute_force_select(const remos::NetworkSnapshot& snap,
+                                    const SelectionOptions& opt, Criterion c,
+                                    std::uint64_t max_subsets = 2'000'000);
+
+}  // namespace netsel::select

@@ -1,0 +1,50 @@
+#include <limits>
+
+#include "select/algorithms.hpp"
+#include "select/detail.hpp"
+#include "topo/connectivity.hpp"
+
+namespace netsel::select {
+
+SelectionResult select_max_compute(const remos::NetworkSnapshot& snap,
+                                   const SelectionOptions& opt) {
+  validate_options(snap, opt);
+  const int m = opt.num_nodes;
+  auto mask = initial_link_mask(snap, opt);
+  auto comps = topo::connected_components(snap.graph(), mask);
+  auto counts = detail::eligible_counts(snap, opt, comps);
+
+  SelectionResult result;
+  double best = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < comps.count; ++c) {
+    if (counts[static_cast<std::size_t>(c)] < m) continue;
+    auto members = detail::eligible_members(snap, opt, comps, c);
+    auto chosen = detail::top_m_by_cpu(snap, opt, std::move(members), m);
+    double mincpu = detail::min_cpu_of(snap, opt, chosen);
+    if (mincpu > best) {
+      best = mincpu;
+      result.feasible = true;
+      result.nodes = std::move(chosen);
+      result.min_cpu = mincpu;
+      result.min_bw_fraction =
+          detail::min_fraction_in_component(snap, opt, comps, c, mask);
+      result.objective = mincpu;
+    }
+  }
+  if (!result.feasible) result.note = "no component with enough eligible nodes";
+  return result;
+}
+
+SelectionResult select_nodes(Criterion c, const remos::NetworkSnapshot& snap,
+                             const SelectionOptions& opt) {
+  switch (c) {
+    case Criterion::MaxCompute: return select_max_compute(snap, opt);
+    case Criterion::MaxBandwidth: return select_max_bandwidth(snap, opt);
+    case Criterion::Balanced: return select_balanced(snap, opt);
+  }
+  SelectionResult r;
+  r.note = "unknown criterion";
+  return r;
+}
+
+}  // namespace netsel::select

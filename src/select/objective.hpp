@@ -1,0 +1,48 @@
+#pragma once
+// Exact evaluation of a candidate node set against a snapshot — the ground
+// truth the algorithms are judged by in tests, benches and the brute-force
+// reference: minimum pairwise bottleneck bandwidth (over actual paths) and
+// minimum fractional cpu.
+
+#include <vector>
+
+#include "remos/snapshot.hpp"
+#include "select/options.hpp"
+#include "topo/graph.hpp"
+
+namespace netsel::select {
+
+struct SetEvaluation {
+  bool connected = false;
+  /// Minimum fractional cpu (reference units) among the set.
+  double min_cpu = 0.0;
+  /// Minimum over node pairs of the bottleneck available bandwidth along
+  /// the path between them, bits/second.
+  double min_pair_bw = 0.0;
+  /// Same, in fractional (reference) units per the options.
+  double min_pair_bw_fraction = 0.0;
+  /// min(min_cpu / cpu_priority, min_pair_bw_fraction / bw_priority).
+  double balanced = 0.0;
+  /// Maximum over node pairs of the summed link latency along the path
+  /// (0 for singleton sets).
+  double max_pair_latency = 0.0;
+};
+
+/// Evaluate `nodes` on the full graph (paths found by BFS with the same
+/// deterministic tie-break as static routing; on acyclic graphs paths are
+/// unique). A set of fewer than 2 nodes has infinite pairwise bandwidth.
+SetEvaluation evaluate_set(const remos::NetworkSnapshot& snap,
+                           const std::vector<topo::NodeId>& nodes,
+                           const SelectionOptions& opt = {});
+
+/// Links on the BFS path between two nodes (empty when src == dst).
+std::vector<topo::LinkId> bfs_path(const topo::TopologyGraph& g,
+                                   topo::NodeId src, topo::NodeId dst);
+
+/// Union of links on all pairwise BFS paths of the set, restricted to an
+/// active-link mask (used by the Steiner-restricted Fig. 3 variant).
+std::vector<topo::LinkId> steiner_links(const topo::TopologyGraph& g,
+                                        const std::vector<char>& link_active,
+                                        const std::vector<topo::NodeId>& nodes);
+
+}  // namespace netsel::select

@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace netsel::sim {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_)
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  EventId id = next_seq_;
+  queue_.push(Entry{t, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  return id;
+}
+
+EventId Simulator::schedule_after(SimTime dt, std::function<void()> fn) {
+  if (dt < 0.0)
+    throw std::invalid_argument("Simulator::schedule_after: negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.t;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime t) {
+  if (t < now_)
+    throw std::invalid_argument("Simulator::run_until: time in the past");
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.t > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Simulator::pending_events() const {
+  // cancelled_ entries may or may not still be in the queue; this count is
+  // an upper bound used only for diagnostics and tests.
+  return queue_.size();
+}
+
+}  // namespace netsel::sim

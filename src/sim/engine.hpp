@@ -1,0 +1,68 @@
+#pragma once
+// Discrete-event simulation core. Single-threaded, deterministic: events at
+// equal timestamps fire in scheduling order. The host and network models are
+// *fluid* models — resource shares change only at events (job/flow arrivals
+// and departures), and state is integrated exactly between events, so there
+// is no time-stepping error anywhere in the simulator.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace netsel::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now). Returns a handle usable
+  /// with cancel().
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedule `fn` after a delay `dt` (>= 0).
+  EventId schedule_after(SimTime dt, std::function<void()> fn);
+  /// Cancel a pending event. Cancelling an already-fired or already
+  /// cancelled event is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Execute the next event. Returns false when no events remain.
+  bool step();
+  /// Execute all events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t);
+  /// Execute events until the queue drains.
+  void run();
+
+  std::size_t pending_events() const;
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace netsel::sim

@@ -1,0 +1,196 @@
+#include "sim/host.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netsel::sim {
+
+namespace {
+/// Work below this is considered finished; guards float residue after
+/// settling the finishing job to (analytically) zero.
+constexpr double kWorkEps = 1e-9;
+/// A job whose residual service time is below this completes immediately;
+/// prevents completion deltas below the clock's floating-point resolution.
+constexpr double kMinDt = 1e-9;
+}  // namespace
+
+double Host::LoadTracker::read(SimTime now, double tau) const {
+  double dt = now - updated;
+  if (dt <= 0.0) return value;
+  double decay = std::exp(-dt / tau);
+  return static_cast<double>(count) + (value - static_cast<double>(count)) * decay;
+}
+
+void Host::LoadTracker::set_count(SimTime now, double tau, int new_count) {
+  value = read(now, tau);
+  updated = now;
+  count = new_count;
+}
+
+Host::Host(Simulator& sim, HostConfig cfg, std::string name)
+    : sim_(sim), cfg_(cfg), name_(std::move(name)) {
+  if (cfg_.capacity <= 0.0)
+    throw std::invalid_argument("Host: capacity must be > 0");
+  if (cfg_.loadavg_tau <= 0.0)
+    throw std::invalid_argument("Host: loadavg_tau must be > 0");
+  last_settle_ = sim_.now();
+  total_load_.updated = sim_.now();
+}
+
+JobId Host::submit(double cpu_seconds, OwnerTag owner,
+                   std::function<void(JobId)> on_complete) {
+  return submit(cpu_seconds, 0.0, owner, std::move(on_complete));
+}
+
+JobId Host::submit(double cpu_seconds, double memory_bytes, OwnerTag owner,
+                   std::function<void(JobId)> on_complete) {
+  return submit_weighted(cpu_seconds, 1.0, memory_bytes, owner,
+                         std::move(on_complete));
+}
+
+JobId Host::submit_weighted(double cpu_seconds, double weight,
+                            double memory_bytes, OwnerTag owner,
+                            std::function<void(JobId)> on_complete) {
+  if (cpu_seconds <= 0.0)
+    throw std::invalid_argument("Host::submit: cpu_seconds must be > 0");
+  if (weight <= 0.0)
+    throw std::invalid_argument("Host::submit: weight must be > 0");
+  if (memory_bytes < 0.0)
+    throw std::invalid_argument("Host::submit: memory must be >= 0");
+  settle();
+  JobId id = next_job_++;
+  jobs_.emplace(id,
+                Job{cpu_seconds, weight, memory_bytes, owner, std::move(on_complete)});
+  memory_in_use_ += memory_bytes;
+  total_weight_ += weight;
+  total_load_.set_count(sim_.now(), cfg_.loadavg_tau, active_jobs());
+  auto& tracker = owner_load_[owner];
+  if (tracker.updated == 0.0 && tracker.count == 0 && tracker.value == 0.0)
+    tracker.updated = sim_.now();
+  tracker.set_count(sim_.now(), cfg_.loadavg_tau, tracker.count + 1);
+  reschedule();
+  return id;
+}
+
+double Host::kill(JobId id) {
+  settle();
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::invalid_argument("Host::kill: unknown job");
+  double remaining = it->second.remaining;
+  OwnerTag owner = it->second.owner;
+  memory_in_use_ -= it->second.memory;
+  total_weight_ -= it->second.weight;
+  jobs_.erase(it);
+  total_load_.set_count(sim_.now(), cfg_.loadavg_tau, active_jobs());
+  owner_load_[owner].set_count(sim_.now(), cfg_.loadavg_tau,
+                               owner_load_[owner].count - 1);
+  reschedule();
+  return remaining;
+}
+
+double Host::remaining_work(JobId id) {
+  settle();
+  auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    throw std::invalid_argument("Host::remaining_work: unknown job");
+  reschedule();  // settle() reset progress baseline; keep event consistent
+  return it->second.remaining;
+}
+
+int Host::active_jobs_excluding(OwnerTag owner) const {
+  int c = 0;
+  for (const auto& [id, j] : jobs_) {
+    if (j.owner != owner) ++c;
+  }
+  return c;
+}
+
+double Host::current_rate_per_job() const {
+  if (jobs_.empty()) return cfg_.capacity;
+  return cfg_.capacity / static_cast<double>(jobs_.size());
+}
+
+double Host::job_rate(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    throw std::invalid_argument("Host::job_rate: unknown job");
+  return cfg_.capacity * it->second.weight / total_weight_;
+}
+
+double Host::load_average() const {
+  return total_load_.read(sim_.now(), cfg_.loadavg_tau);
+}
+
+double Host::load_average_excluding(OwnerTag owner) const {
+  return load_average() - owner_load_average(owner);
+}
+
+double Host::owner_load_average(OwnerTag owner) const {
+  auto it = owner_load_.find(owner);
+  if (it == owner_load_.end()) return 0.0;
+  return it->second.read(sim_.now(), cfg_.loadavg_tau);
+}
+
+std::vector<OwnerTag> Host::tracked_owners() const {
+  std::vector<OwnerTag> out;
+  out.reserve(owner_load_.size());
+  for (const auto& [owner, tracker] : owner_load_) out.push_back(owner);
+  return out;
+}
+
+void Host::settle() {
+  double dt = sim_.now() - last_settle_;
+  last_settle_ = sim_.now();
+  if (dt <= 0.0 || jobs_.empty()) return;
+  double per_weight = dt * cfg_.capacity / total_weight_;
+  for (auto& [id, j] : jobs_) {
+    j.remaining -= per_weight * j.weight;
+    if (j.remaining < 0.0) j.remaining = 0.0;
+  }
+}
+
+void Host::reschedule() {
+  if (completion_event_ != kInvalidEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = kInvalidEvent;
+  }
+  if (jobs_.empty()) return;
+  double dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, j] : jobs_) {
+    dt = std::min(dt, j.remaining * total_weight_ / (cfg_.capacity * j.weight));
+  }
+  completion_event_ =
+      sim_.schedule_after(dt, [this] { on_completion_event(); });
+}
+
+void Host::on_completion_event() {
+  completion_event_ = kInvalidEvent;
+  settle();
+  // Collect all jobs that are done (ties complete together), then fire
+  // callbacks after the host state is consistent — a callback may submit a
+  // new job to this very host.
+  std::vector<std::pair<JobId, std::function<void(JobId)>>> done;
+  const double settled_weight = total_weight_;  // rates at the settle instant
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    double rate = cfg_.capacity * it->second.weight / settled_weight;
+    if (it->second.remaining <= kWorkEps ||
+        it->second.remaining / rate <= kMinDt) {
+      owner_load_[it->second.owner].set_count(
+          sim_.now(), cfg_.loadavg_tau, owner_load_[it->second.owner].count - 1);
+      memory_in_use_ -= it->second.memory;
+      total_weight_ -= it->second.weight;
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  total_load_.set_count(sim_.now(), cfg_.loadavg_tau, active_jobs());
+  reschedule();
+  for (auto& [id, cb] : done) {
+    if (cb) cb(id);
+  }
+}
+
+}  // namespace netsel::sim

@@ -1,0 +1,148 @@
+#pragma once
+// Processor-sharing host model.
+//
+// Every compute node is modelled as a processor-sharing server: the paper's
+// cpu = 1/(1+loadaverage) function (§3.1) assumes "the processor will be
+// equally shared by those processes and the user application process", i.e.
+// equal-priority round-robin, which in the fluid limit is exactly processor
+// sharing. Jobs carry an owner tag so that an application's own load can be
+// separated from competing load ("the load and traffic caused by the
+// application itself must be captured separately", §3.3, dynamic migration).
+//
+// The host also integrates a UNIX-style exponentially-damped load average,
+// which is what Remos (and thus node selection) observes. Between events the
+// active job count n is constant, so the ODE  L' = (n - L)/tau  has the
+// exact solution  L(t) = n + (L0 - n) e^{-(t-t0)/tau}  — no sampling error.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace netsel::sim {
+
+/// Identifies who created a job or flow. Owner 0 is reserved for background
+/// (synthetic generator) activity; applications use ids > 0.
+using OwnerTag = std::int32_t;
+inline constexpr OwnerTag kBackgroundOwner = 0;
+
+using JobId = std::uint64_t;
+
+struct HostConfig {
+  /// Relative computation capacity (reference node type = 1.0). A job of
+  /// `w` reference-CPU-seconds takes w / capacity seconds when alone.
+  double capacity = 1.0;
+  /// Load-average damping time constant in seconds (UNIX uses 60 for the
+  /// 1-minute average).
+  double loadavg_tau = 60.0;
+};
+
+class Host {
+ public:
+  Host(Simulator& sim, HostConfig cfg, std::string name = {});
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// Submit a job needing `cpu_seconds` of reference-node CPU time.
+  /// `on_complete` fires (possibly much later) when the job's work is done.
+  JobId submit(double cpu_seconds, OwnerTag owner,
+               std::function<void(JobId)> on_complete = {});
+
+  /// Submit a job that also pins `memory_bytes` of RAM for its lifetime
+  /// (§3.4 memory-availability extension). Memory is not a scheduling
+  /// resource here — it only drives the availability signal the monitor
+  /// reports; oversubscription is allowed and simply shows as negative
+  /// free memory clamped to zero.
+  JobId submit(double cpu_seconds, double memory_bytes, OwnerTag owner,
+               std::function<void(JobId)> on_complete = {});
+
+  /// Weighted (generalised) processor sharing: a job progresses at
+  /// capacity * weight / (sum of active weights). The paper assumes equal
+  /// priority ("the processor will be equally shared", §3.1) — weight 1.0
+  /// reproduces that exactly; niced background jobs (< 1.0) let an
+  /// application keep more than 1/(1+loadavg), which is precisely where
+  /// the paper's cpu function turns pessimistic (see bench_ablation).
+  JobId submit_weighted(double cpu_seconds, double weight, double memory_bytes,
+                        OwnerTag owner,
+                        std::function<void(JobId)> on_complete = {});
+
+  /// Kill a running job; its completion callback never fires. Returns the
+  /// reference-CPU-seconds of work remaining (used by migration to resubmit
+  /// the job elsewhere). Throws if the job is not active.
+  double kill(JobId id);
+
+  bool is_active(JobId id) const { return jobs_.count(id) > 0; }
+  /// Remaining reference-CPU-seconds for an active job, settled to now.
+  double remaining_work(JobId id);
+
+  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+  int active_jobs_excluding(OwnerTag owner) const;
+
+  /// Instantaneous per-job service rate (reference-CPU-seconds per second)
+  /// for an equal-weight job; with weighted jobs present use job_rate().
+  double current_rate_per_job() const;
+  /// Instantaneous service rate of a specific active job.
+  double job_rate(JobId id) const;
+  /// Sum of active job weights.
+  double total_weight() const { return total_weight_; }
+
+  /// Exponentially-damped load average over all jobs, integrated to now.
+  double load_average() const;
+  /// Load average with the given owner's contribution removed. The per-owner
+  /// counts are integrated with the same time constant, so
+  /// load_average() == sum over owners of owner load averages.
+  double load_average_excluding(OwnerTag owner) const;
+  /// This owner's own exponentially-damped load contribution.
+  double owner_load_average(OwnerTag owner) const;
+  /// Owners that have ever run jobs here (monitoring enumerates these).
+  std::vector<OwnerTag> tracked_owners() const;
+
+  double capacity() const { return cfg_.capacity; }
+  const std::string& name() const { return name_; }
+
+  /// Total memory pinned by active jobs (bytes).
+  double memory_in_use() const { return memory_in_use_; }
+
+ private:
+  struct Job {
+    double remaining = 0.0;  // reference-CPU-seconds
+    double weight = 1.0;     // generalised-PS share weight
+    double memory = 0.0;     // bytes pinned while active
+    OwnerTag owner = kBackgroundOwner;
+    std::function<void(JobId)> on_complete;
+  };
+
+  struct LoadTracker {
+    double value = 0.0;
+    SimTime updated = 0.0;
+    int count = 0;
+
+    double read(SimTime now, double tau) const;
+    void set_count(SimTime now, double tau, int new_count);
+  };
+
+  /// Apply elapsed progress to all jobs and update trackers; call before any
+  /// state change and before any read of remaining work.
+  void settle();
+  /// Recompute the next completion event after a membership change.
+  void reschedule();
+  void on_completion_event();
+
+  Simulator& sim_;
+  HostConfig cfg_;
+  std::string name_;
+  std::unordered_map<JobId, Job> jobs_;
+  JobId next_job_ = 1;
+  SimTime last_settle_ = 0.0;
+  EventId completion_event_ = kInvalidEvent;
+
+  LoadTracker total_load_;
+  std::unordered_map<OwnerTag, LoadTracker> owner_load_;
+  double memory_in_use_ = 0.0;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace netsel::sim

@@ -1,0 +1,54 @@
+#pragma once
+// NetworkSim — the simulated testbed: one Simulator clock, one Host per
+// compute node, one flow Network over the topology. This is the substitute
+// for the paper's physical CMU testbed; everything above it (Remos monitor,
+// generators, applications) interacts only through this facade.
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/host.hpp"
+#include "sim/network.hpp"
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+
+namespace netsel::sim {
+
+struct NetworkSimConfig {
+  HostConfig host;        // capacity here is a default; node cpu_capacity scales it
+  NetworkConfig network;
+};
+
+class NetworkSim {
+ public:
+  explicit NetworkSim(topo::TopologyGraph topology, NetworkSimConfig cfg = {});
+  NetworkSim(const NetworkSim&) = delete;
+  NetworkSim& operator=(const NetworkSim&) = delete;
+
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+  const topo::TopologyGraph& topology() const { return topology_; }
+  const topo::RoutingTable& routes() const { return *routes_; }
+  Network& network() { return *network_; }
+  const Network& network() const { return *network_; }
+
+  /// Host of a compute node; throws for network nodes.
+  Host& host(topo::NodeId n);
+  const Host& host(topo::NodeId n) const;
+  bool has_host(topo::NodeId n) const;
+
+  /// Allocate a fresh application owner tag (> 0).
+  OwnerTag new_owner();
+
+ private:
+  topo::TopologyGraph topology_;
+  Simulator sim_;
+  std::unique_ptr<topo::RoutingTable> routes_;
+  std::unique_ptr<Network> network_;
+  /// Indexed by NodeId; null for network nodes.
+  std::vector<std::unique_ptr<Host>> hosts_;
+  OwnerTag next_owner_ = 1;
+};
+
+}  // namespace netsel::sim

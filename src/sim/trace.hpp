@@ -1,0 +1,57 @@
+#pragma once
+// Periodic time-series recorder over a simulated testbed: samples host load
+// averages and directional link utilisation on a fixed interval, and
+// renders CSV for figure generation (benches use it to emit the series
+// behind their tables). Unlike the Remos monitor this is an *observer for
+// experimenters* — it reads ground truth, not measurements.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+
+namespace netsel::sim {
+
+struct TraceConfig {
+  double interval = 5.0;  ///< seconds between samples
+  bool hosts = true;      ///< record per-host load averages
+  bool links = true;      ///< record per-direction link utilisation (bps)
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder(NetworkSim& net, TraceConfig cfg = {});
+
+  /// Begin sampling at the current simulation time (first sample now).
+  void start();
+  void stop();
+
+  std::size_t samples() const { return times_.size(); }
+
+  /// Column names in CSV order (time first).
+  std::vector<std::string> columns() const;
+  /// One row per sample: time, then host loads, then link utilisations.
+  std::string to_csv() const;
+
+  /// Value of column `col` (by columns() index, excluding the time column)
+  /// at sample `row` — for tests and programmatic consumers.
+  double value(std::size_t row, std::size_t col) const;
+  double time_of(std::size_t row) const { return times_.at(row); }
+
+ private:
+  void sample();
+  void schedule_next();
+
+  NetworkSim& net_;
+  TraceConfig cfg_;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+  std::vector<topo::NodeId> hosts_;
+  std::vector<double> times_;
+  /// Row-major: samples x columns.
+  std::vector<double> values_;
+  std::size_t width_ = 0;
+};
+
+}  // namespace netsel::sim

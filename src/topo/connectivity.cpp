@@ -1,0 +1,64 @@
+#include "topo/connectivity.hpp"
+
+#include <stdexcept>
+
+namespace netsel::topo {
+
+std::vector<NodeId> Components::members(int c) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < comp_of.size(); ++i) {
+    if (comp_of[i] == c) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+Components connected_components(const TopologyGraph& g,
+                                const std::vector<char>& link_active) {
+  if (link_active.size() != g.link_count())
+    throw std::invalid_argument("connected_components: mask size mismatch");
+  Components result;
+  result.comp_of.assign(g.node_count(), -1);
+  std::vector<NodeId> stack;
+  for (std::size_t start = 0; start < g.node_count(); ++start) {
+    if (result.comp_of[start] != -1) continue;
+    int c = result.count++;
+    result.compute_count.push_back(0);
+    result.node_count.push_back(0);
+    stack.push_back(static_cast<NodeId>(start));
+    result.comp_of[start] = c;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      result.node_count[static_cast<std::size_t>(c)]++;
+      if (g.is_compute(u)) result.compute_count[static_cast<std::size_t>(c)]++;
+      for (LinkId l : g.links_of(u)) {
+        if (!link_active[static_cast<std::size_t>(l)]) continue;
+        NodeId v = g.other_end(l, u);
+        if (result.comp_of[static_cast<std::size_t>(v)] == -1) {
+          result.comp_of[static_cast<std::size_t>(v)] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Components connected_components(const TopologyGraph& g) {
+  std::vector<char> all(g.link_count(), 1);
+  return connected_components(g, all);
+}
+
+int largest_compute_component(const Components& c) {
+  int best = -1;
+  int best_count = 0;
+  for (int i = 0; i < c.count; ++i) {
+    if (c.compute_count[static_cast<std::size_t>(i)] > best_count) {
+      best_count = c.compute_count[static_cast<std::size_t>(i)];
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace netsel::topo

@@ -1,0 +1,39 @@
+#pragma once
+// Connected-component machinery used by the Fig. 2 / Fig. 3 selection
+// algorithms, which repeatedly delete the minimum-bandwidth edge and re-ask
+// "which components still contain at least m compute nodes?".
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netsel::topo {
+
+/// Result of a component decomposition under an edge mask.
+struct Components {
+  /// component id per node (dense, 0-based).
+  std::vector<int> comp_of;
+  /// number of components.
+  int count = 0;
+  /// compute-node count per component.
+  std::vector<int> compute_count;
+  /// total node count per component.
+  std::vector<int> node_count;
+
+  /// Nodes belonging to component c, in id order.
+  std::vector<NodeId> members(int c) const;
+};
+
+/// Decompose `g` into connected components considering only links for which
+/// `link_active[l]` is true. `link_active` must have size g.link_count().
+Components connected_components(const TopologyGraph& g,
+                                const std::vector<char>& link_active);
+
+/// Convenience: all links active.
+Components connected_components(const TopologyGraph& g);
+
+/// Id of the component with the most compute nodes (ties broken toward the
+/// lower component id, which is deterministic); -1 when there are none.
+int largest_compute_component(const Components& c);
+
+}  // namespace netsel::topo

@@ -1,0 +1,26 @@
+#pragma once
+// Graphviz DOT export of a topology graph (optionally annotated with
+// availability from a snapshot), reproducing the style of the paper's
+// Figure 1 Remos graph — boxes for network nodes, ellipses for compute
+// nodes, links labelled with capacity.
+
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netsel::topo {
+
+struct DotOptions {
+  /// Per-link label override (e.g. "42.0/100 Mbps"); empty string keeps the
+  /// default capacity label. Size must be 0 or link_count().
+  std::vector<std::string> link_labels;
+  /// Nodes to highlight (e.g. a selected node set), drawn with bold borders
+  /// like the selected nodes in the paper's Fig. 4.
+  std::vector<NodeId> highlight;
+  std::string graph_name = "remos";
+};
+
+std::string to_dot(const TopologyGraph& g, const DotOptions& opt = {});
+
+}  // namespace netsel::topo

@@ -1,0 +1,54 @@
+#pragma once
+// Topology generators: the paper's Fig. 4 CMU testbed plus parametric
+// families (star, dumbbell, two-level trees, random acyclic graphs) used by
+// tests and by the algorithm-scaling benchmarks.
+
+#include "topo/graph.hpp"
+#include "util/rng.hpp"
+
+namespace netsel::topo {
+
+inline constexpr double kMbps = 1e6;
+inline constexpr double k100Mbps = 100e6;
+inline constexpr double k155Mbps = 155e6;
+
+/// The Fig. 4 IP testbed: DEC Alpha compute nodes m-1 .. m-18 attached to
+/// Cisco routers panama, gibraltar and suez. All links are 100 Mbps
+/// Ethernet, except the gibraltar--suez link which is 155 Mbps ATM.
+/// Attachment (the figure shows three similar-size groups):
+///   panama:    m-1 .. m-6
+///   gibraltar: m-7 .. m-12
+///   suez:      m-13 .. m-18
+/// Router backbone: panama--gibraltar (100 Mbps), gibraltar--suez (155 Mbps).
+TopologyGraph testbed();
+
+/// A single switch with `hosts` compute nodes, each attached at `host_bw`.
+TopologyGraph star(int hosts, double host_bw = k100Mbps);
+
+/// Two stars of `left` and `right` hosts joined by a bottleneck link.
+TopologyGraph dumbbell(int left, int right, double host_bw = k100Mbps,
+                       double bottleneck_bw = k100Mbps);
+
+/// A two-level tree: `switches` leaf switches under one root switch, each
+/// leaf switch serving `hosts_per_switch` compute nodes.
+TopologyGraph two_level_tree(int switches, int hosts_per_switch,
+                             double host_bw = k100Mbps,
+                             double trunk_bw = k100Mbps);
+
+struct RandomTreeOptions {
+  int compute_nodes = 16;
+  int network_nodes = 4;
+  double min_bw = 10 * kMbps;
+  double max_bw = k100Mbps;
+  /// When true, compute nodes are always leaves (hosts hang off switches,
+  /// as in real LANs). When false, any topology position is allowed.
+  bool hosts_are_leaves = true;
+};
+
+/// A uniformly random acyclic connected topology (a tree). Network nodes
+/// form the backbone; compute nodes attach to random backbone nodes when
+/// hosts_are_leaves, otherwise the tree is grown over all nodes in random
+/// order. Link capacities are uniform in [min_bw, max_bw].
+TopologyGraph random_tree(util::Rng& rng, const RandomTreeOptions& opt = {});
+
+}  // namespace netsel::topo

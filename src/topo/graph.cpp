@@ -1,0 +1,180 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace netsel::topo {
+
+bool Node::has_tag(std::string_view t) const {
+  return std::find(tags.begin(), tags.end(), t) != tags.end();
+}
+
+NodeId TopologyGraph::add_node(Node n) {
+  if (n.name.empty()) throw std::invalid_argument("node name must be non-empty");
+  if (find_node(n.name))
+    throw std::invalid_argument("duplicate node name: " + n.name);
+  nodes_.push_back(std::move(n));
+  incident_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId TopologyGraph::add_compute(std::string name, double cpu_capacity,
+                                  std::vector<std::string> tags) {
+  if (cpu_capacity <= 0.0)
+    throw std::invalid_argument("cpu_capacity must be > 0 for " + name);
+  Node n;
+  n.name = std::move(name);
+  n.kind = NodeKind::Compute;
+  n.cpu_capacity = cpu_capacity;
+  n.tags = std::move(tags);
+  return add_node(std::move(n));
+}
+
+void TopologyGraph::set_memory(NodeId n, double bytes) {
+  if (n < 0 || static_cast<std::size_t>(n) >= nodes_.size())
+    throw std::invalid_argument("set_memory: node out of range");
+  if (nodes_[static_cast<std::size_t>(n)].kind != NodeKind::Compute)
+    throw std::invalid_argument("set_memory: not a compute node");
+  if (bytes < 0.0) throw std::invalid_argument("set_memory: bytes must be >= 0");
+  nodes_[static_cast<std::size_t>(n)].memory_bytes = bytes;
+}
+
+NodeId TopologyGraph::add_network(std::string name) {
+  Node n;
+  n.name = std::move(name);
+  n.kind = NodeKind::Network;
+  n.cpu_capacity = 0.0;
+  return add_node(std::move(n));
+}
+
+LinkId TopologyGraph::add_link(NodeId a, NodeId b, double capacity_bps) {
+  return add_link(a, b, capacity_bps, capacity_bps);
+}
+
+LinkId TopologyGraph::add_link(NodeId a, NodeId b, LinkSpec spec) {
+  if (spec.latency < 0.0)
+    throw std::invalid_argument("add_link: latency must be >= 0");
+  LinkId id = add_link(a, b, spec.capacity_ab,
+                       spec.capacity_ba > 0.0 ? spec.capacity_ba : spec.capacity_ab,
+                       std::move(spec.name));
+  links_[static_cast<std::size_t>(id)].latency = spec.latency;
+  return id;
+}
+
+LinkId TopologyGraph::add_link(NodeId a, NodeId b, double capacity_ab,
+                               double capacity_ba, std::string name) {
+  auto valid = [&](NodeId x) {
+    return x >= 0 && static_cast<std::size_t>(x) < nodes_.size();
+  };
+  if (!valid(a) || !valid(b))
+    throw std::invalid_argument("add_link: endpoint out of range");
+  if (a == b) throw std::invalid_argument("add_link: self loops not allowed");
+  if (capacity_ab <= 0.0 || capacity_ba <= 0.0)
+    throw std::invalid_argument("add_link: capacities must be > 0");
+  Link l;
+  l.a = a;
+  l.b = b;
+  l.capacity_ab = capacity_ab;
+  l.capacity_ba = capacity_ba;
+  if (name.empty()) {
+    l.name = nodes_[static_cast<std::size_t>(a)].name + "--" +
+             nodes_[static_cast<std::size_t>(b)].name;
+  } else {
+    l.name = std::move(name);
+  }
+  links_.push_back(std::move(l));
+  auto id = static_cast<LinkId>(links_.size() - 1);
+  incident_[static_cast<std::size_t>(a)].push_back(id);
+  incident_[static_cast<std::size_t>(b)].push_back(id);
+  return id;
+}
+
+std::span<const LinkId> TopologyGraph::links_of(NodeId n) const {
+  return incident_.at(static_cast<std::size_t>(n));
+}
+
+NodeId TopologyGraph::other_end(LinkId l, NodeId n) const {
+  const Link& lk = link(l);
+  if (lk.a == n) return lk.b;
+  if (lk.b == n) return lk.a;
+  throw std::invalid_argument("other_end: node is not an endpoint of link");
+}
+
+std::optional<NodeId> TopologyGraph::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> TopologyGraph::compute_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::Compute) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::size_t TopologyGraph::compute_node_count() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_)
+    if (n.kind == NodeKind::Compute) ++c;
+  return c;
+}
+
+void TopologyGraph::validate() const {
+  if (nodes_.empty()) throw std::invalid_argument("topology: empty graph");
+  if (compute_node_count() == 0)
+    throw std::invalid_argument("topology: no compute nodes");
+  // Connectivity via BFS from node 0.
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (LinkId l : links_of(u)) {
+      NodeId v = other_end(l, u);
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++reached;
+        q.push(v);
+      }
+    }
+  }
+  if (reached != nodes_.size()) {
+    std::ostringstream os;
+    os << "topology: graph is disconnected (" << reached << " of "
+       << nodes_.size() << " nodes reachable from " << nodes_[0].name << ")";
+    throw std::invalid_argument(os.str());
+  }
+}
+
+bool TopologyGraph::is_acyclic() const {
+  // A connected undirected graph is acyclic iff |E| = |V| - 1; for possibly
+  // disconnected graphs, acyclic iff |E| = |V| - #components. Use union-find.
+  std::vector<NodeId> parent(nodes_.size());
+  for (std::size_t i = 0; i < parent.size(); ++i)
+    parent[i] = static_cast<NodeId>(i);
+  auto find = [&](NodeId x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& l : links_) {
+    NodeId ra = find(l.a), rb = find(l.b);
+    if (ra == rb) return false;  // this edge closes a cycle
+    parent[static_cast<std::size_t>(ra)] = rb;
+  }
+  return true;
+}
+
+}  // namespace netsel::topo

@@ -1,0 +1,127 @@
+#pragma once
+// Logical network topology graph (paper §3.1).
+//
+// A node is either a *compute node* (a processor available for computation)
+// or a *network node* (a router/switch used for routing). Edges are
+// communication links with a peak capacity per direction; the paper's
+// `maxbw(i,j)` is a static property stored here, while the dynamically
+// varying `bw(i,j)` lives in remos::NetworkSnapshot.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netsel::topo {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : std::uint8_t { Compute, Network };
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::Compute;
+  /// Relative computation capacity; the reference node type is 1.0
+  /// (paper §3.3, "Heterogeneous links and nodes"). Ignored for network
+  /// nodes.
+  double cpu_capacity = 1.0;
+  /// Physical memory in bytes (paper §3.4 lists "memory and disk
+  /// availability on the compute nodes" as future factors; the
+  /// memory-aware extension consumes this). 0 means "not modelled".
+  double memory_bytes = 0.0;
+  /// Free-form attribute tags, used by placement constraints in the
+  /// application specification interface (e.g. "alpha", "gpu").
+  std::vector<std::string> tags;
+
+  bool has_tag(std::string_view t) const;
+};
+
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  /// Peak bandwidth (bits/second) in the a->b direction.
+  double capacity_ab = 0.0;
+  /// Peak bandwidth in the b->a direction. Equal to capacity_ab for the
+  /// shared-fabric links of §3.1; may differ for the independent
+  /// bidirectional links of §3.3.
+  double capacity_ba = 0.0;
+  /// One-way propagation latency in seconds (paper §3.4 lists latency as a
+  /// factor for future work; the latency-aware extension consumes this).
+  double latency = 0.0;
+  std::string name;
+
+  /// Peak capacity used for selection: the paper takes the minimum of the
+  /// two directions for bidirectional links (§3.3).
+  double capacity_min() const { return capacity_ab < capacity_ba ? capacity_ab : capacity_ba; }
+};
+
+/// An immutable-after-build undirected multigraph. Nodes and links are
+/// referenced by dense integer ids so per-node/per-link state elsewhere
+/// (simulator, snapshots) is stored in flat arrays.
+class TopologyGraph {
+ public:
+  /// Add a compute node. Names must be unique across the graph.
+  NodeId add_compute(std::string name, double cpu_capacity = 1.0,
+                     std::vector<std::string> tags = {});
+  /// Set a compute node's physical memory (bytes; §3.4 extension).
+  void set_memory(NodeId n, double bytes);
+  /// Add a network (router/switch) node.
+  NodeId add_network(std::string name);
+  /// Add an undirected link with symmetric capacity (bits/second).
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps);
+  /// Add a link with distinct per-direction capacities.
+  LinkId add_link(NodeId a, NodeId b, double capacity_ab, double capacity_ba,
+                  std::string name = {});
+
+  /// Full link specification for heterogeneous links.
+  struct LinkSpec {
+    double capacity_ab = 0.0;
+    double capacity_ba = 0.0;  ///< 0 means "same as capacity_ab"
+    double latency = 0.0;      ///< one-way seconds
+    std::string name;
+  };
+  LinkId add_link(NodeId a, NodeId b, LinkSpec spec);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const Link& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+
+  /// Ids of links incident to `n`.
+  std::span<const LinkId> links_of(NodeId n) const;
+  /// The node at the other end of link `l` from node `n`; throws if `n` is
+  /// not an endpoint of `l`.
+  NodeId other_end(LinkId l, NodeId n) const;
+
+  std::optional<NodeId> find_node(std::string_view name) const;
+  /// All compute-node ids, in id order.
+  std::vector<NodeId> compute_nodes() const;
+  std::size_t compute_node_count() const;
+
+  bool is_compute(NodeId n) const { return node(n).kind == NodeKind::Compute; }
+
+  /// Degree (number of incident links).
+  std::size_t degree(NodeId n) const { return links_of(n).size(); }
+
+  /// Throws std::invalid_argument if the graph is empty, disconnected, has
+  /// duplicate names, or has a link with non-positive capacity. Call after
+  /// building.
+  void validate() const;
+
+  /// True if the graph contains no cycle (the baseline assumption of §3.2).
+  bool is_acyclic() const;
+
+ private:
+  NodeId add_node(Node n);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> incident_;
+};
+
+}  // namespace netsel::topo

@@ -1,0 +1,75 @@
+#include "topo/routing.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace netsel::topo {
+
+RoutingTable::RoutingTable(const TopologyGraph& g)
+    : graph_(&g), n_(g.node_count()), next_link_(n_ * n_, kInvalidLink) {
+  // BFS from every destination; record, for each src, the link toward dst.
+  // Iterating neighbours in incident-list order with a FIFO queue yields
+  // deterministic shortest paths with ties broken toward links added first.
+  std::vector<int> dist(n_);
+  for (std::size_t dst = 0; dst < n_; ++dst) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<NodeId> q;
+    auto d = static_cast<NodeId>(dst);
+    dist[dst] = 0;
+    q.push(d);
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      for (LinkId l : g.links_of(u)) {
+        NodeId v = g.other_end(l, u);
+        if (dist[static_cast<std::size_t>(v)] == -1) {
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          // From v, the first hop toward dst is the link v--u.
+          next_link_[static_cast<std::size_t>(v) * n_ + dst] = l;
+          q.push(v);
+        }
+      }
+    }
+    for (std::size_t src = 0; src < n_; ++src) {
+      if (dist[src] == -1)
+        throw std::invalid_argument("RoutingTable: graph is disconnected");
+    }
+  }
+}
+
+std::vector<LinkId> RoutingTable::route(NodeId src, NodeId dst) const {
+  std::vector<LinkId> out;
+  NodeId u = src;
+  while (u != dst) {
+    LinkId l = next_link_[idx(u, dst)];
+    if (l == kInvalidLink)
+      throw std::logic_error("RoutingTable: missing next hop");
+    out.push_back(l);
+    u = graph_->other_end(l, u);
+  }
+  return out;
+}
+
+std::vector<NodeId> RoutingTable::route_nodes(NodeId src, NodeId dst) const {
+  std::vector<NodeId> out{src};
+  NodeId u = src;
+  while (u != dst) {
+    LinkId l = next_link_[idx(u, dst)];
+    u = graph_->other_end(l, u);
+    out.push_back(u);
+  }
+  return out;
+}
+
+std::size_t RoutingTable::hops(NodeId src, NodeId dst) const {
+  std::size_t h = 0;
+  NodeId u = src;
+  while (u != dst) {
+    LinkId l = next_link_[idx(u, dst)];
+    u = graph_->other_end(l, u);
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace netsel::topo

@@ -1,0 +1,44 @@
+#pragma once
+// Static routing (paper §3.3, "Cycles in network topology"): networks
+// typically use static routing, so a fixed path is taken for all
+// communication between a pair of nodes. The routing table fixes one
+// shortest path (hop count, deterministic tie-break toward lower node ids)
+// per ordered pair; on acyclic graphs this is the unique path.
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netsel::topo {
+
+class RoutingTable {
+ public:
+  /// Build routes for all pairs. O(n * (n + e)) BFS; the graph must be
+  /// connected (validate() it first).
+  explicit RoutingTable(const TopologyGraph& g);
+
+  /// The links on the route from src to dst, in traversal order. Empty when
+  /// src == dst.
+  std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+  /// The nodes on the route from src to dst inclusive of both endpoints.
+  std::vector<NodeId> route_nodes(NodeId src, NodeId dst) const;
+
+  /// Hop count (number of links) between src and dst.
+  std::size_t hops(NodeId src, NodeId dst) const;
+
+  std::size_t node_count() const { return n_; }
+
+ private:
+  std::size_t idx(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * n_ + static_cast<std::size_t>(dst);
+  }
+
+  const TopologyGraph* graph_;
+  std::size_t n_;
+  /// For destination `dst`, next_link_[src*n+dst] is the first link on the
+  /// path src -> dst (kInvalidLink when src == dst).
+  std::vector<LinkId> next_link_;
+};
+
+}  // namespace netsel::topo

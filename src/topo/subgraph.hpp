@@ -1,0 +1,37 @@
+#pragma once
+// Logical sub-topology extraction: Remos presents "a functional snapshot of
+// the *relevant part* of the network" (paper §2.2) — for a set of compute
+// nodes, that is the union of the static routes among them. The extraction
+// preserves names, capacities, latencies and tags, and records the mapping
+// back to the parent graph so dynamic annotations can be projected.
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netsel::topo {
+
+struct LogicalSubgraph {
+  TopologyGraph graph;
+  /// Subgraph node id -> parent node id.
+  std::vector<NodeId> parent_node;
+  /// Subgraph link id -> parent link id.
+  std::vector<LinkId> parent_link;
+
+  /// Parent node id -> subgraph node id (kInvalidNode when absent).
+  NodeId to_sub(NodeId parent) const;
+
+ private:
+  friend LogicalSubgraph extract_subgraph(const TopologyGraph&,
+                                          const std::vector<NodeId>&);
+  std::vector<NodeId> sub_of_parent_;
+};
+
+/// Extract the sub-topology spanned by the pairwise (BFS/static-route)
+/// paths among `nodes`. Throws when `nodes` is empty or contains an id out
+/// of range; unreachable pairs simply contribute nothing (the result can be
+/// disconnected if the parent is).
+LogicalSubgraph extract_subgraph(const TopologyGraph& parent,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace netsel::topo

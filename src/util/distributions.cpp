@@ -1,0 +1,135 @@
+#include "util/distributions.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace netsel::util {
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Exponential mean must be > 0");
+}
+
+double Exponential::sample(Rng& rng) const {
+  return rng.exponential_mean(mean_);
+}
+
+std::string Exponential::describe() const {
+  std::ostringstream os;
+  os << "Exponential(mean=" << mean_ << ")";
+  return os.str();
+}
+
+Pareto::Pareto(double alpha, double x_min) : alpha_(alpha), x_min_(x_min) {
+  if (alpha <= 0.0 || x_min <= 0.0)
+    throw std::invalid_argument("Pareto requires alpha > 0 and x_min > 0");
+}
+
+double Pareto::sample(Rng& rng) const {
+  // Inverse transform: x = x_min * U^(-1/alpha), U in (0,1].
+  double u = 1.0 - rng.uniform();  // avoid u == 0
+  return x_min_ * std::pow(u, -1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * x_min_ / (alpha_ - 1.0);
+}
+
+std::string Pareto::describe() const {
+  std::ostringstream os;
+  os << "Pareto(alpha=" << alpha_ << ", x_min=" << x_min_ << ")";
+  return os.str();
+}
+
+BoundedPareto::BoundedPareto(double alpha, double x_min, double x_max)
+    : alpha_(alpha), x_min_(x_min), x_max_(x_max) {
+  if (alpha <= 0.0 || x_min <= 0.0 || x_max <= x_min)
+    throw std::invalid_argument("BoundedPareto requires alpha>0, 0<x_min<x_max");
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  // Inverse CDF of the truncated Pareto.
+  double u = rng.uniform();
+  double lmin = std::pow(x_min_, -alpha_);
+  double lmax = std::pow(x_max_, -alpha_);
+  return std::pow(lmin - u * (lmin - lmax), -1.0 / alpha_);
+}
+
+double BoundedPareto::mean() const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    // E[X] = ln(x_max/x_min) / (1/x_min - 1/x_max) for alpha == 1.
+    return std::log(x_max_ / x_min_) / (1.0 / x_min_ - 1.0 / x_max_);
+  }
+  double num = std::pow(x_min_, alpha_) * alpha_ *
+               (std::pow(x_min_, 1.0 - alpha_) - std::pow(x_max_, 1.0 - alpha_));
+  double den = (alpha_ - 1.0) *
+               (1.0 - std::pow(x_min_ / x_max_, alpha_));
+  return num / den;
+}
+
+std::string BoundedPareto::describe() const {
+  std::ostringstream os;
+  os << "BoundedPareto(alpha=" << alpha_ << ", x_min=" << x_min_
+     << ", x_max=" << x_max_ << ")";
+  return os.str();
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("LogNormal sigma must be > 0");
+}
+
+LogNormal LogNormal::from_mean(double mean, double sigma) {
+  if (mean <= 0.0) throw std::invalid_argument("LogNormal mean must be > 0");
+  // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+  return LogNormal(std::log(mean) - 0.5 * sigma * sigma, sigma);
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::string LogNormal::describe() const {
+  std::ostringstream os;
+  os << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+Mixture::Mixture(DistributionPtr first, DistributionPtr second, double p_first)
+    : first_(std::move(first)), second_(std::move(second)), p_first_(p_first) {
+  if (!first_ || !second_)
+    throw std::invalid_argument("Mixture components must be non-null");
+  if (p_first < 0.0 || p_first > 1.0)
+    throw std::invalid_argument("Mixture p_first must be in [0,1]");
+}
+
+double Mixture::sample(Rng& rng) const {
+  return rng.bernoulli(p_first_) ? first_->sample(rng) : second_->sample(rng);
+}
+
+double Mixture::mean() const {
+  return p_first_ * first_->mean() + (1.0 - p_first_) * second_->mean();
+}
+
+std::string Mixture::describe() const {
+  std::ostringstream os;
+  os << "Mixture(p=" << p_first_ << " " << first_->describe() << " | "
+     << second_->describe() << ")";
+  return os.str();
+}
+
+Constant::Constant(double value) : value_(value) {
+  if (value <= 0.0) throw std::invalid_argument("Constant must be > 0");
+}
+
+std::string Constant::describe() const {
+  std::ostringstream os;
+  os << "Constant(" << value_ << ")";
+  return os.str();
+}
+
+}  // namespace netsel::util

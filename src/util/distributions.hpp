@@ -1,0 +1,117 @@
+#pragma once
+// Probability distributions used by the load and traffic generators (§4.2 of
+// the paper): exponential and Pareto process lifetimes (Harchol-Balter &
+// Downey) and LogNormal message sizes.
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace netsel::util {
+
+/// Abstract positive-valued distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draw one sample (always > 0 for the distributions here).
+  virtual double sample(Rng& rng) const = 0;
+  /// Analytic mean, or a best-effort estimate when the mean diverges
+  /// (truncated distributions always have a finite mean).
+  virtual double mean() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Exponential with the given mean.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  std::string describe() const override;
+
+ private:
+  double mean_;
+};
+
+/// Pareto with shape alpha and scale x_min: P[X > x] = (x_min/x)^alpha.
+/// Harchol-Balter & Downey observed process lifetimes with alpha near 1,
+/// i.e. extremely heavy-tailed; such tails are what make "current load"
+/// predictive of future load, the property node selection exploits.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double x_min);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+  double alpha() const { return alpha_; }
+  double x_min() const { return x_min_; }
+
+ private:
+  double alpha_;
+  double x_min_;
+};
+
+/// Pareto truncated at x_max (a "bounded Pareto"). Keeps the heavy tail but
+/// guarantees a finite mean and bounded simulation horizons.
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double alpha, double x_min, double x_max);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  double alpha_;
+  double x_min_;
+  double x_max_;
+};
+
+/// LogNormal parameterised by the underlying normal's mu and sigma.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+  /// Convenience: construct from the desired mean and the sigma of log X.
+  static LogNormal from_mean(double mean, double sigma);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Two-component mixture: with probability `p_first` sample from `first`,
+/// else from `second`. Used for the exponential-body + Pareto-tail lifetime
+/// model of §4.2.
+class Mixture final : public Distribution {
+ public:
+  Mixture(DistributionPtr first, DistributionPtr second, double p_first);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  DistributionPtr first_;
+  DistributionPtr second_;
+  double p_first_;
+};
+
+/// Degenerate point mass, handy in tests.
+class Constant final : public Distribution {
+ public:
+  explicit Constant(double value);
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  std::string describe() const override;
+
+ private:
+  double value_;
+};
+
+}  // namespace netsel::util

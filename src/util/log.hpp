@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logging. Simulation code logs through this so tests can
+// silence output and benches can turn on tracing.
+
+#include <sstream>
+#include <string>
+
+namespace netsel::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-unsafe by design: the simulator is single-threaded;
+/// benches that parallelise do so across processes).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace netsel::util
+
+#define NETSEL_LOG(level)                                          \
+  if (static_cast<int>(level) < static_cast<int>(::netsel::util::log_level())) \
+    ;                                                              \
+  else                                                             \
+    ::netsel::util::detail::LogMessage(level)
+
+#define NETSEL_LOG_DEBUG NETSEL_LOG(::netsel::util::LogLevel::Debug)
+#define NETSEL_LOG_INFO NETSEL_LOG(::netsel::util::LogLevel::Info)
+#define NETSEL_LOG_WARN NETSEL_LOG(::netsel::util::LogLevel::Warn)
+#define NETSEL_LOG_ERROR NETSEL_LOG(::netsel::util::LogLevel::Error)

@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+namespace netsel::util {
+
+std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+std::mt19937_64 make_engine(std::uint64_t seed) {
+  // Expand the 64-bit seed through SplitMix64 so that nearby seeds give
+  // decorrelated initial states (raw mt19937_64 seeding from small integers
+  // is notoriously correlated in the first draws).
+  SplitMix64 sm(seed);
+  std::seed_seq seq{sm.next(), sm.next(), sm.next(), sm.next(),
+                    sm.next(), sm.next(), sm.next(), sm.next()};
+  return std::mt19937_64(seq);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(make_engine(seed)) {}
+
+Rng::Rng(std::uint64_t master_seed, std::string_view stream_name)
+    : Rng(master_seed ^ hash_name(stream_name)) {}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential_mean(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+Rng Rng::fork(std::string_view stream_name) {
+  return Rng(seed_, stream_name);
+}
+
+}  // namespace netsel::util

@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic random number generation for the simulator and generators.
+//
+// Every stochastic component in netsel draws from an Rng that is seeded from
+// a master seed plus a named stream, so that experiments are reproducible
+// run-to-run and individual components can be re-seeded independently
+// (e.g. the load generator and the traffic generator must not share a
+// stream, or toggling one would perturb the other).
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace netsel::util {
+
+/// SplitMix64: fast, well-distributed 64-bit mixer. Used to derive stream
+/// seeds from (master seed, stream name) and as the seeding PRNG for the
+/// main engine.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a hash of a string, used to derive per-stream seeds from names.
+std::uint64_t hash_name(std::string_view name) noexcept;
+
+/// Rng wraps a mersenne twister with convenience draw methods. It satisfies
+/// UniformRandomBitGenerator so it can also be handed to <random>
+/// distributions directly.
+class Rng {
+ public:
+  using result_type = std::mt19937_64::result_type;
+
+  /// Seed directly from a 64-bit value.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive a stream: same master seed + same name => same sequence.
+  Rng(std::uint64_t master_seed, std::string_view stream_name);
+
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+  /// Exponential variate with given mean (NOT rate).
+  double exponential_mean(double mean);
+  /// Standard normal variate.
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child stream deterministically.
+  Rng fork(std::string_view stream_name);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace netsel::util

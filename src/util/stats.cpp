@@ -1,0 +1,156 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace netsel::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::stderr_mean() const {
+  return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::ci_halfwidth(double level) const {
+  if (n_ < 2) return 0.0;
+  return t_quantile(level, n_ - 1) * stderr_mean();
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+namespace {
+// Rows: dof; columns: two-sided 90%, 95%, 99%.
+struct TRow {
+  std::size_t dof;
+  double t90, t95, t99;
+};
+constexpr TRow kTTable[] = {
+    {1, 6.314, 12.706, 63.657}, {2, 2.920, 4.303, 9.925},
+    {3, 2.353, 3.182, 5.841},   {4, 2.132, 2.776, 4.604},
+    {5, 2.015, 2.571, 4.032},   {6, 1.943, 2.447, 3.707},
+    {7, 1.895, 2.365, 3.499},   {8, 1.860, 2.306, 3.355},
+    {9, 1.833, 2.262, 3.250},   {10, 1.812, 2.228, 3.169},
+    {12, 1.782, 2.179, 3.055},  {15, 1.753, 2.131, 2.947},
+    {20, 1.725, 2.086, 2.845},  {25, 1.708, 2.060, 2.787},
+    {30, 1.697, 2.042, 2.750},  {40, 1.684, 2.021, 2.704},
+    {60, 1.671, 2.000, 2.660},  {120, 1.658, 1.980, 2.617},
+    {1000000, 1.645, 1.960, 2.576},
+};
+
+double row_value(const TRow& r, double level) {
+  if (level <= 0.90) return r.t90;
+  if (level <= 0.95) return r.t95;
+  return r.t99;
+}
+}  // namespace
+
+double t_quantile(double level, std::size_t dof) {
+  if (dof == 0) throw std::invalid_argument("t_quantile: dof must be >= 1");
+  const TRow* lo = &kTTable[0];
+  for (const auto& row : kTTable) {
+    if (row.dof == dof) return row_value(row, level);
+    if (row.dof > dof) {
+      // Interpolate in 1/dof, which is close to linear for t quantiles.
+      double a = 1.0 / static_cast<double>(lo->dof);
+      double b = 1.0 / static_cast<double>(row.dof);
+      double x = 1.0 / static_cast<double>(dof);
+      double w = (a - x) / (a - b);
+      return row_value(*lo, level) * (1.0 - w) + row_value(row, level) * w;
+    }
+    lo = &row;
+  }
+  return row_value(kTTable[std::size(kTTable) - 1], level);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p must be in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(idx));
+  auto hi = static_cast<std::size_t>(std::ceil(idx));
+  double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo)
+    throw std::invalid_argument("Histogram: need bins >= 1 and hi > lo");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                      static_cast<double>(counts_.size()));
+    counts_[std::min(i, counts_.size() - 1)]++;
+  }
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_fraction(std::size_t i) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_.at(i)) /
+                           static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t maxc = 1;
+  for (auto c : counts_) maxc = std::max(maxc, c);
+  std::ostringstream os;
+  double bw = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << "[" << lo_ + bw * static_cast<double>(i) << ", "
+       << lo_ + bw * static_cast<double>(i + 1) << ") ";
+    std::size_t bar = counts_[i] * width / maxc;
+    for (std::size_t j = 0; j < bar; ++j) os << '#';
+    os << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace netsel::util

@@ -1,0 +1,68 @@
+#pragma once
+// Statistics utilities for the experiment harness. The paper's Table 1
+// entries are averages over many executions spanning hours ("a large number
+// of measurements is necessary to have statistically relevant results");
+// OnlineStats + confidence intervals reproduce that methodology.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace netsel::util {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (0 when fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Half-width of the two-sided confidence interval for the mean at the
+  /// given level (0.90, 0.95 or 0.99) using Student's t.
+  double ci_halfwidth(double level = 0.95) const;
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t quantile t_{1-(1-level)/2, dof}, from a table with
+/// interpolation; exact enough for reporting CIs.
+double t_quantile(double level, std::size_t dof);
+
+/// p-th percentile (0..100) of a sample by linear interpolation.
+/// The input vector is copied; empty input throws.
+double percentile(std::vector<double> xs, double p);
+
+/// Simple fixed-bin histogram for distribution sanity checks in tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  /// Fraction of all samples in bin i.
+  double bin_fraction(std::size_t i) const;
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace netsel::util

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace netsel::util {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::rule() { rows_.push_back({{}, true}); }
+
+void TextTable::align(std::vector<Align> aligns) { aligns_ = std::move(aligns); }
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.is_rule) widen(r.cells);
+
+  auto align_of = [&](std::size_t col) {
+    if (col < aligns_.size()) return aligns_[col];
+    return col == 0 ? Align::Left : Align::Right;
+  };
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      std::string c = i < cells.size() ? cells[i] : "";
+      os << (i == 0 ? "| " : " ");
+      if (align_of(i) == Align::Left) {
+        os << std::left << std::setw(static_cast<int>(widths[i])) << c;
+      } else {
+        os << std::right << std::setw(static_cast<int>(widths[i])) << c;
+      }
+      os << " |";
+    }
+    os << "\n";
+  };
+  auto emit_rule = [&]() {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      os << (i == 0 ? "|-" : "-");
+      os << std::string(widths[i], '-') << "-|";
+    }
+    os << "\n";
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_rule) {
+      emit_rule();
+    } else {
+      emit(r.cells);
+    }
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_pct_change(double from, double to) {
+  std::ostringstream os;
+  double pct = from == 0.0 ? 0.0 : (to - from) / from * 100.0;
+  os << "(" << (pct >= 0 ? "+" : "") << fmt(pct, 1) << "%)";
+  return os.str();
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1000.0 && u < 4) {
+    bytes /= 1000.0;
+    ++u;
+  }
+  return fmt(bytes, bytes < 10 ? 2 : 1) + units[u];
+}
+
+std::string fmt_mbps(double bits_per_second) {
+  return fmt(bits_per_second / 1e6, 1) + " Mbps";
+}
+
+}  // namespace netsel::util

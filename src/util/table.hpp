@@ -1,0 +1,53 @@
+#pragma once
+// Plain-text table formatting for the benchmark harnesses, so every bench
+// binary can print its table/figure in a form directly comparable with the
+// paper.
+
+#include <string>
+#include <vector>
+
+namespace netsel::util {
+
+/// Column alignment within a TextTable.
+enum class Align { Left, Right };
+
+/// A minimal monospace table builder.
+///
+///   TextTable t;
+///   t.header({"App", "Nodes", "Time"});
+///   t.row({"FFT", "4", "48.0"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void rule();
+  /// Set per-column alignment (default: first column Left, rest Right).
+  void align(std::vector<Align> aligns);
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double v, int precision = 1);
+
+/// Format a percentage change like the paper's "(-23.8%)" cells.
+std::string fmt_pct_change(double from, double to);
+
+/// Format a byte count in human units (KB/MB/GB, powers of 1000 to match
+/// networking convention).
+std::string fmt_bytes(double bytes);
+
+/// Format a bandwidth in Mbps.
+std::string fmt_mbps(double bits_per_second);
+
+}  // namespace netsel::util

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/service.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::api {
+namespace {
+
+struct ApiFixture : ::testing::Test {
+  sim::NetworkSim net{topo::testbed()};
+  remos::Remos remos{net};
+
+  void warm() {
+    remos.start();
+    net.sim().run_until(net.sim().now() + 4.0);
+  }
+};
+
+TEST_F(ApiFixture, SpmdSpecValidatesAndCounts) {
+  auto spec = AppSpec::spmd("fft", 4, AppPattern::LooselySynchronous);
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.total_nodes(), 4);
+  EXPECT_EQ(spec.groups.size(), 1u);
+}
+
+TEST_F(ApiFixture, SpecValidationRejections) {
+  AppSpec spec;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // no groups
+  spec.groups.push_back(NodeGroup{"g", 0, {}, {}, 0});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // zero count
+  spec.groups[0].count = 2;
+  spec.cpu_priority = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.cpu_priority = 1.0;
+  spec.min_bw_bps = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST_F(ApiFixture, PlacesSpmdGroup) {
+  warm();
+  NodeSelectionService svc(remos);
+  auto spec = AppSpec::spmd("fft", 4, AppPattern::LooselySynchronous);
+  auto placement = svc.place(spec);
+  ASSERT_TRUE(placement.feasible);
+  ASSERT_EQ(placement.group_nodes.size(), 1u);
+  EXPECT_EQ(placement.group_nodes[0].size(), 4u);
+  EXPECT_EQ(placement.flat().size(), 4u);
+}
+
+TEST_F(ApiFixture, AvoidsLoadedNodes) {
+  // Load m-1..m-4 heavily; the placement must not use them.
+  for (int i = 1; i <= 4; ++i) {
+    auto n = net.topology().find_node("m-" + std::to_string(i)).value();
+    net.host(n).submit(1e9, sim::kBackgroundOwner);
+    net.host(n).submit(1e9, sim::kBackgroundOwner);
+  }
+  net.sim().run_until(600.0);
+  warm();
+  NodeSelectionService svc(remos);
+  auto spec = AppSpec::spmd("fft", 4, AppPattern::LooselySynchronous);
+  auto placement = svc.place(spec);
+  ASSERT_TRUE(placement.feasible);
+  for (auto n : placement.flat()) {
+    for (int i = 1; i <= 4; ++i)
+      EXPECT_NE(net.topology().node(n).name, "m-" + std::to_string(i));
+  }
+}
+
+TEST_F(ApiFixture, GroupTagConstraintsHonoured) {
+  warm();
+  NodeSelectionService svc(remos);
+  AppSpec spec;
+  spec.name = "tagged";
+  NodeGroup workers;
+  workers.name = "workers";
+  workers.count = 3;
+  workers.required_tags = {"alpha"};  // all testbed hosts carry this
+  spec.groups.push_back(workers);
+  EXPECT_TRUE(svc.place(spec).feasible);
+  spec.groups[0].required_tags = {"sparc"};  // nobody has it
+  auto placement = svc.place(spec);
+  EXPECT_FALSE(placement.feasible);
+  EXPECT_NE(placement.note.find("workers"), std::string::npos);
+}
+
+TEST_F(ApiFixture, PinnedHostGroup) {
+  warm();
+  NodeSelectionService svc(remos);
+  AppSpec spec;
+  NodeGroup server;
+  server.name = "server";
+  server.count = 1;
+  server.allowed_hosts = {"m-9"};
+  server.placement_priority = 10;
+  NodeGroup clients;
+  clients.name = "clients";
+  clients.count = 3;
+  spec.groups = {server, clients};
+  auto placement = svc.place(spec);
+  ASSERT_TRUE(placement.feasible);
+  ASSERT_EQ(placement.group_nodes[0].size(), 1u);
+  EXPECT_EQ(net.topology().node(placement.group_nodes[0][0]).name, "m-9");
+  // The clients must not reuse the server node.
+  for (auto n : placement.group_nodes[1])
+    EXPECT_NE(net.topology().node(n).name, "m-9");
+}
+
+TEST_F(ApiFixture, GroupsDoNotOverlap) {
+  warm();
+  NodeSelectionService svc(remos);
+  AppSpec spec;
+  spec.groups = {NodeGroup{"a", 6, {}, {}, 0}, NodeGroup{"b", 6, {}, {}, 0},
+                 NodeGroup{"c", 6, {}, {}, 0}};
+  auto placement = svc.place(spec);
+  ASSERT_TRUE(placement.feasible);
+  std::set<topo::NodeId> seen;
+  for (auto n : placement.flat()) EXPECT_TRUE(seen.insert(n).second);
+  EXPECT_EQ(seen.size(), 18u);
+  // A fourth group cannot fit.
+  spec.groups.push_back(NodeGroup{"d", 1, {}, {}, 0});
+  EXPECT_FALSE(svc.place(spec).feasible);
+}
+
+TEST_F(ApiFixture, HigherPriorityGroupPlacedFirst) {
+  // Load every node except m-5 lightly; the high-priority group should get
+  // the best node even though it is declared second.
+  for (auto n : net.topology().compute_nodes()) {
+    if (net.topology().node(n).name != "m-5")
+      net.host(n).submit(1e9, sim::kBackgroundOwner);
+  }
+  net.sim().run_until(600.0);
+  warm();
+  NodeSelectionService svc(remos);
+  AppSpec spec;
+  spec.groups = {NodeGroup{"clients", 3, {}, {}, 0},
+                 NodeGroup{"server", 1, {}, {}, 5}};
+  ServiceOptions opt;
+  opt.criterion = select::Criterion::MaxCompute;
+  auto placement = svc.place(spec, opt);
+  ASSERT_TRUE(placement.feasible);
+  EXPECT_EQ(net.topology().node(placement.group_nodes[1][0]).name, "m-5");
+}
+
+TEST_F(ApiFixture, CriterionOverrideAndConvenienceSelect) {
+  warm();
+  NodeSelectionService svc(remos);
+  auto r = svc.select(4, select::Criterion::MaxBandwidth);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.nodes.size(), 4u);
+  EXPECT_EQ(default_criterion(AppPattern::MasterSlave),
+            select::Criterion::Balanced);
+}
+
+TEST_F(ApiFixture, SpecLevelRequirementsPropagate) {
+  warm();
+  NodeSelectionService svc(remos);
+  auto spec = AppSpec::spmd("strict", 4, AppPattern::LooselySynchronous);
+  spec.min_cpu_fraction = 0.9;  // idle testbed: fine
+  EXPECT_TRUE(svc.place(spec).feasible);
+  // Load everything; now nothing satisfies 0.9.
+  for (auto n : net.topology().compute_nodes()) {
+    net.host(n).submit(1e9, sim::kBackgroundOwner);
+  }
+  net.sim().run_until(1200.0);
+  remos.monitor().poll_once();
+  EXPECT_FALSE(svc.place(spec).feasible);
+}
+
+}  // namespace
+}  // namespace netsel::api

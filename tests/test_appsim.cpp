@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "appsim/loosely_synchronous.hpp"
+#include "appsim/master_slave.hpp"
+#include "appsim/presets.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::appsim {
+namespace {
+
+std::vector<topo::NodeId> first_hosts(const sim::NetworkSim& net, int m) {
+  auto cn = net.topology().compute_nodes();
+  cn.resize(static_cast<std::size_t>(m));
+  return cn;
+}
+
+TEST(LooselySync, ComputeOnlyClosedForm) {
+  sim::NetworkSim net(topo::star(4));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.iterations = 10;
+  cfg.phases = {PhaseSpec{2.0, 0.0, CommPattern::None}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(first_hosts(net, 4));
+  net.sim().run();
+  ASSERT_TRUE(app.finished());
+  EXPECT_DOUBLE_EQ(app.elapsed(), 20.0);
+  EXPECT_EQ(app.iterations_completed(), 10);
+}
+
+TEST(LooselySync, CommOnlyAllToAllClosedForm) {
+  // 4 nodes on one switch, 2.5 MB per pair: 3 flows share each access-link
+  // direction at ~33.3 Mbps -> 0.6 s per iteration.
+  sim::NetworkSim net(topo::star(4));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.iterations = 5;
+  cfg.phases = {PhaseSpec{0.0, 2.5e6, CommPattern::AllToAll}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(first_hosts(net, 4));
+  net.sim().run();
+  ASSERT_TRUE(app.finished());
+  EXPECT_NEAR(app.elapsed(), 5.0 * 2.5e6 * 8.0 * 3.0 / 100e6, 1e-6);
+}
+
+TEST(LooselySync, RingUsesFullLinks) {
+  // Ring: each host sends one and receives one message: full 100 Mbps.
+  sim::NetworkSim net(topo::star(5));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.iterations = 4;
+  cfg.phases = {PhaseSpec{0.0, 12.5e6, CommPattern::Ring}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(first_hosts(net, 5));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 4.0 * 1.0, 1e-6);
+}
+
+TEST(LooselySync, GatherSharesSinkDownlink) {
+  // 4 senders into node 0: the sink's downlink is the bottleneck.
+  sim::NetworkSim net(topo::star(5));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.iterations = 1;
+  cfg.phases = {PhaseSpec{0.0, 12.5e6, CommPattern::Gather}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(first_hosts(net, 5));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 4.0, 1e-6);  // 4 * 12.5 MB over 100 Mbps
+}
+
+TEST(LooselySync, BroadcastSharesSourceUplink) {
+  sim::NetworkSim net(topo::star(5));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.iterations = 1;
+  cfg.phases = {PhaseSpec{0.0, 12.5e6, CommPattern::Broadcast}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(first_hosts(net, 5));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 4.0, 1e-6);
+}
+
+TEST(LooselySync, SlowestNodeGatesEveryIteration) {
+  // One loaded node doubles the compute phase for everyone (barrier).
+  sim::NetworkSim net(topo::star(4));
+  auto hosts = first_hosts(net, 4);
+  net.host(hosts[2]).submit(1e9, sim::kBackgroundOwner);  // permanent load
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.iterations = 8;
+  cfg.phases = {PhaseSpec{1.0, 0.0, CommPattern::None}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(hosts);
+  net.sim().run_until(100.0);
+  ASSERT_TRUE(app.finished());
+  EXPECT_DOUBLE_EQ(app.elapsed(), 16.0);  // 2x on the shared node
+}
+
+TEST(LooselySync, MultiPhaseIterationOrder) {
+  sim::NetworkSim net(topo::star(2));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.iterations = 3;
+  cfg.phases = {PhaseSpec{1.0, 0.0, CommPattern::None},
+                PhaseSpec{0.0, 12.5e6, CommPattern::Ring},
+                PhaseSpec{0.5, 0.0, CommPattern::None}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(first_hosts(net, 2));
+  net.sim().run();
+  // Per iteration: 1.0 + 1.0 (12.5 MB at 100 Mbps, both directions in
+  // parallel) + 0.5 = 2.5.
+  EXPECT_NEAR(app.elapsed(), 7.5, 1e-6);
+}
+
+TEST(LooselySync, Compute_And_Comm_PhaseCombined) {
+  sim::NetworkSim net(topo::star(2));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.iterations = 2;
+  cfg.phases = {PhaseSpec{1.0, 12.5e6, CommPattern::Ring}};
+  LooselySynchronousApp app(net, cfg);
+  app.start(first_hosts(net, 2));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 2.0 * (1.0 + 1.0), 1e-6);
+}
+
+TEST(LooselySync, FftPresetUnloadedReference) {
+  sim::NetworkSim net(topo::star(4));
+  LooselySynchronousApp app(net, fft1k());
+  app.start(first_hosts(net, 4));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 48.0, 0.5);
+}
+
+TEST(LooselySync, AirshedPresetUnloadedReference) {
+  sim::NetworkSim net(topo::star(5));
+  LooselySynchronousApp app(net, airshed());
+  app.start(first_hosts(net, 5));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 150.0, 5.0);
+}
+
+TEST(LooselySync, Validation) {
+  sim::NetworkSim net(topo::star(4));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 0;
+  cfg.iterations = 1;
+  cfg.phases = {PhaseSpec{1.0, 0.0, CommPattern::None}};
+  EXPECT_THROW(LooselySynchronousApp(net, cfg), std::invalid_argument);
+  cfg.num_nodes = 2;
+  cfg.iterations = 0;
+  EXPECT_THROW(LooselySynchronousApp(net, cfg), std::invalid_argument);
+  cfg.iterations = 1;
+  cfg.phases.clear();
+  EXPECT_THROW(LooselySynchronousApp(net, cfg), std::invalid_argument);
+  cfg.phases = {PhaseSpec{-1.0, 0.0, CommPattern::None}};
+  EXPECT_THROW(LooselySynchronousApp(net, cfg), std::invalid_argument);
+  cfg.num_nodes = 1;
+  cfg.phases = {PhaseSpec{1.0, 1e6, CommPattern::AllToAll}};
+  EXPECT_THROW(LooselySynchronousApp(net, cfg), std::invalid_argument);
+}
+
+TEST(LooselySync, PlacementSizeChecked) {
+  sim::NetworkSim net(topo::star(4));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.iterations = 1;
+  cfg.phases = {PhaseSpec{1.0, 0.0, CommPattern::None}};
+  LooselySynchronousApp app(net, cfg);
+  EXPECT_THROW(app.start(first_hosts(net, 2)), std::invalid_argument);
+  EXPECT_THROW(app.elapsed(), std::logic_error);
+}
+
+TEST(MasterSlave, ClosedFormOnIdleFarm) {
+  // 12 tasks, 3 slaves, 2 cpu-s each, no transfers: 4 rounds of 2 s.
+  sim::NetworkSim net(topo::star(4));
+  MasterSlaveConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_tasks = 12;
+  cfg.task_work = 2.0;
+  cfg.input_bytes = 0.0;
+  cfg.output_bytes = 0.0;
+  MasterSlaveApp app(net, cfg);
+  app.start(first_hosts(net, 4));
+  net.sim().run();
+  ASSERT_TRUE(app.finished());
+  EXPECT_DOUBLE_EQ(app.elapsed(), 8.0);
+  EXPECT_EQ(app.tasks_completed(), 12);
+  for (int c : app.per_slave_completed()) EXPECT_EQ(c, 4);
+}
+
+TEST(MasterSlave, FarmAdaptsToSlowSlave) {
+  // One slave at half speed: the fast slaves absorb the work. This is the
+  // paper's explanation for MRI's robustness (§4.3).
+  sim::NetworkSim net(topo::star(4));
+  auto hosts = first_hosts(net, 4);
+  net.host(hosts[3]).submit(1e9, sim::kBackgroundOwner);  // slave 3 loaded
+  MasterSlaveConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.num_tasks = 30;
+  cfg.task_work = 1.0;
+  cfg.input_bytes = 0.0;
+  cfg.output_bytes = 0.0;
+  MasterSlaveApp app(net, cfg);
+  app.start(hosts);
+  net.sim().run_until(500.0);
+  ASSERT_TRUE(app.finished());
+  const auto& per = app.per_slave_completed();
+  EXPECT_GT(per[0], per[2]) << "fast slaves should complete more tasks";
+  EXPECT_GT(per[1], per[2]);
+  // Total time near the balanced optimum 30/(1+1+0.5) = 12 s rather than
+  // the unbalanced 3x10 tasks at the slow slave's pace.
+  EXPECT_LT(app.elapsed(), 15.0);
+}
+
+TEST(MasterSlave, TransfersSerializeWithComputePerSlave) {
+  // window=1: each task is input transfer + compute + output transfer.
+  sim::NetworkSim net(topo::star(2));
+  MasterSlaveConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.num_tasks = 4;
+  cfg.task_work = 1.0;
+  cfg.input_bytes = 12.5e6;   // 1 s
+  cfg.output_bytes = 6.25e6;  // 0.5 s
+  MasterSlaveApp app(net, cfg);
+  app.start(first_hosts(net, 2));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 4.0 * (1.0 + 1.0 + 0.5), 1e-6);
+}
+
+TEST(MasterSlave, WindowTwoOverlapsTransfers) {
+  // With window=2 the next input streams while the slave computes, hiding
+  // transfer latency (compute-bound pipeline).
+  sim::NetworkSim net(topo::star(2));
+  MasterSlaveConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.num_tasks = 8;
+  cfg.task_work = 2.0;
+  cfg.input_bytes = 12.5e6;  // 1 s << 2 s compute
+  cfg.output_bytes = 0.0;
+  cfg.window = 2;
+  MasterSlaveApp app(net, cfg);
+  app.start(first_hosts(net, 2));
+  net.sim().run();
+  // Lower bound 16 s of compute; window=1 would cost 24 s.
+  EXPECT_LT(app.elapsed(), 19.0);
+  EXPECT_GE(app.elapsed(), 16.0);
+}
+
+TEST(MasterSlave, MriPresetUnloadedReference) {
+  sim::NetworkSim net(topo::star(4));
+  MasterSlaveApp app(net, mri());
+  app.start(first_hosts(net, 4));
+  net.sim().run();
+  EXPECT_NEAR(app.elapsed(), 540.0, 25.0);
+}
+
+TEST(MasterSlave, Validation) {
+  sim::NetworkSim net(topo::star(4));
+  MasterSlaveConfig cfg;
+  cfg.num_nodes = 1;
+  EXPECT_THROW(MasterSlaveApp(net, cfg), std::invalid_argument);
+  cfg.num_nodes = 2;
+  cfg.num_tasks = 0;
+  EXPECT_THROW(MasterSlaveApp(net, cfg), std::invalid_argument);
+  cfg.num_tasks = 1;
+  cfg.task_work = 0.0;
+  EXPECT_THROW(MasterSlaveApp(net, cfg), std::invalid_argument);
+  cfg.task_work = 1.0;
+  cfg.window = 0;
+  EXPECT_THROW(MasterSlaveApp(net, cfg), std::invalid_argument);
+}
+
+TEST(ApplicationBase, LifecycleAndOwnership) {
+  sim::NetworkSim net(topo::star(4));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.iterations = 1;
+  cfg.phases = {PhaseSpec{1.0, 0.0, CommPattern::None}};
+  LooselySynchronousApp a(net, cfg, "a");
+  LooselySynchronousApp b(net, cfg, "b");
+  EXPECT_NE(a.owner(), b.owner());
+  EXPECT_NE(a.owner(), sim::kBackgroundOwner);
+  EXPECT_EQ(a.state(), AppState::Idle);
+  bool notified = false;
+  a.start(first_hosts(net, 2), [&] { notified = true; });
+  EXPECT_EQ(a.state(), AppState::Running);
+  EXPECT_THROW(a.start(first_hosts(net, 2)), std::logic_error);
+  net.sim().run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(a.state(), AppState::Finished);
+}
+
+TEST(ApplicationBase, AppJobsAreVisibleInHostLoad) {
+  sim::NetworkSim net(topo::star(2));
+  LooselySyncConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.iterations = 1;
+  cfg.phases = {PhaseSpec{50.0, 0.0, CommPattern::None}};
+  LooselySynchronousApp app(net, cfg);
+  auto hosts = first_hosts(net, 2);
+  app.start(hosts);
+  net.sim().run_until(40.0);
+  EXPECT_EQ(net.host(hosts[0]).active_jobs(), 1);
+  EXPECT_EQ(net.host(hosts[0]).active_jobs_excluding(app.owner()), 0);
+}
+
+}  // namespace
+}  // namespace netsel::appsim

@@ -1,0 +1,154 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace netsel::util {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (auto& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+double sample_mean(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+TEST(Exponential, MeanMatches) {
+  Exponential d(3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  auto xs = draw(d, 50000, 1);
+  EXPECT_NEAR(sample_mean(xs), 3.0, 0.1);
+}
+
+TEST(Exponential, RejectsNonPositiveMean) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Pareto, SamplesAboveScale) {
+  Pareto d(1.5, 2.0);
+  auto xs = draw(d, 10000, 2);
+  EXPECT_GE(*std::min_element(xs.begin(), xs.end()), 2.0);
+}
+
+TEST(Pareto, MeanForAlphaAboveOne) {
+  Pareto d(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);  // alpha*xmin/(alpha-1)
+  auto xs = draw(d, 200000, 3);
+  EXPECT_NEAR(sample_mean(xs), 2.0, 0.1);
+}
+
+TEST(Pareto, InfiniteMeanAtHeavyTail) {
+  Pareto d(1.0, 1.0);
+  EXPECT_TRUE(std::isinf(d.mean()));
+}
+
+TEST(Pareto, TailIsHeavierThanExponential) {
+  // P[X > 10 xmin] = 10^-alpha; for alpha=1.1 that is ~0.079, far above the
+  // exponential with the same x_min scale.
+  Pareto d(1.1, 1.0);
+  auto xs = draw(d, 100000, 4);
+  double frac = static_cast<double>(
+                    std::count_if(xs.begin(), xs.end(),
+                                  [](double x) { return x > 10.0; })) /
+                static_cast<double>(xs.size());
+  EXPECT_NEAR(frac, std::pow(10.0, -1.1), 0.01);
+}
+
+TEST(Pareto, RejectsBadParameters) {
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(BoundedPareto, SamplesWithinBounds) {
+  BoundedPareto d(1.05, 2.0, 900.0);
+  auto xs = draw(d, 20000, 5);
+  EXPECT_GE(*std::min_element(xs.begin(), xs.end()), 2.0);
+  EXPECT_LE(*std::max_element(xs.begin(), xs.end()), 900.0);
+}
+
+TEST(BoundedPareto, AnalyticMeanMatchesSampleMean) {
+  BoundedPareto d(1.05, 2.0, 900.0);
+  auto xs = draw(d, 400000, 6);
+  EXPECT_NEAR(sample_mean(xs), d.mean(), d.mean() * 0.05);
+}
+
+TEST(BoundedPareto, AlphaOneSpecialCase) {
+  BoundedPareto d(1.0, 1.0, 100.0);
+  // E[X] = ln(100) / (1 - 1/100)
+  EXPECT_NEAR(d.mean(), std::log(100.0) / 0.99, 1e-9);
+  auto xs = draw(d, 400000, 7);
+  EXPECT_NEAR(sample_mean(xs), d.mean(), d.mean() * 0.05);
+}
+
+TEST(BoundedPareto, RejectsInvertedBounds) {
+  EXPECT_THROW(BoundedPareto(1.0, 10.0, 5.0), std::invalid_argument);
+}
+
+TEST(LogNormal, MeanFormula) {
+  LogNormal d(1.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(1.0 + 0.125), 1e-12);
+}
+
+TEST(LogNormal, FromMeanHitsRequestedMean) {
+  auto d = LogNormal::from_mean(4e6, 1.2);
+  EXPECT_NEAR(d.mean(), 4e6, 1.0);
+  auto xs = draw(d, 400000, 8);
+  EXPECT_NEAR(sample_mean(xs), 4e6, 4e6 * 0.05);
+}
+
+TEST(LogNormal, AllSamplesPositive) {
+  auto d = LogNormal::from_mean(10.0, 2.0);
+  auto xs = draw(d, 10000, 9);
+  EXPECT_GT(*std::min_element(xs.begin(), xs.end()), 0.0);
+}
+
+TEST(Mixture, MeanIsWeightedAverage) {
+  auto a = std::make_shared<Constant>(2.0);
+  auto b = std::make_shared<Constant>(10.0);
+  Mixture m(a, b, 0.25);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.25 * 2.0 + 0.75 * 10.0);
+  auto xs = draw(m, 40000, 10);
+  EXPECT_NEAR(sample_mean(xs), 8.0, 0.1);
+}
+
+TEST(Mixture, DegenerateWeights) {
+  auto a = std::make_shared<Constant>(2.0);
+  auto b = std::make_shared<Constant>(10.0);
+  Rng rng(11);
+  Mixture all_a(a, b, 1.0);
+  Mixture all_b(a, b, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(all_a.sample(rng), 2.0);
+    EXPECT_DOUBLE_EQ(all_b.sample(rng), 10.0);
+  }
+}
+
+TEST(Mixture, RejectsBadProbability) {
+  auto a = std::make_shared<Constant>(1.0);
+  EXPECT_THROW(Mixture(a, a, -0.1), std::invalid_argument);
+  EXPECT_THROW(Mixture(a, a, 1.1), std::invalid_argument);
+  EXPECT_THROW(Mixture(nullptr, a, 0.5), std::invalid_argument);
+}
+
+TEST(Describe, AllDistributionsDescribeThemselves) {
+  EXPECT_NE(Exponential(1.0).describe().find("Exponential"), std::string::npos);
+  EXPECT_NE(Pareto(1.1, 2.0).describe().find("Pareto"), std::string::npos);
+  EXPECT_NE(BoundedPareto(1.1, 2.0, 9.0).describe().find("BoundedPareto"),
+            std::string::npos);
+  EXPECT_NE(LogNormal(0.0, 1.0).describe().find("LogNormal"),
+            std::string::npos);
+  EXPECT_NE(Constant(1.0).describe().find("Constant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netsel::util

@@ -1,0 +1,128 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netsel::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Engine, FifoWithinSameTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int count = 0;
+  EventId id = sim.schedule_at(1.0, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.cancel(id);           // after fire: no-op
+  sim.cancel(id);           // twice: no-op
+  sim.cancel(kInvalidEvent);  // invalid: no-op
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Engine, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run_until(10.0);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilWithCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.cancel(a);
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, EventsScheduledDuringExecutionRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.run_until(1.0), std::invalid_argument);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(static_cast<double>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Engine, ZeroDelayEventFiresAtSameTime) {
+  Simulator sim;
+  double t = -1.0;
+  sim.schedule_at(4.0, [&] {
+    sim.schedule_after(0.0, [&] { t = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+}  // namespace
+}  // namespace netsel::sim

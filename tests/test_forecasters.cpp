@@ -1,0 +1,117 @@
+// Tests for the extended forecaster suite (beyond the paper's last-value
+// choice): conservative window-max, least-squares linear trend, and the
+// NWS-style adaptive selector (the paper's reference [26] picks predictors
+// by their track record).
+
+#include <gtest/gtest.h>
+
+#include "remos/history.hpp"
+#include "util/rng.hpp"
+
+namespace netsel::remos {
+namespace {
+
+TimeSeries ramp(double slope, int n, double dt = 1.0, double start = 0.0) {
+  TimeSeries ts(1e9);
+  for (int i = 0; i < n; ++i)
+    ts.record(i * dt, start + slope * i * dt);
+  return ts;
+}
+
+TEST(WindowMaxF, ReturnsWindowMaximum) {
+  TimeSeries ts(100.0);
+  WindowMax f;
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 7.0), 7.0);
+  ts.record(0.0, 2.0);
+  ts.record(1.0, 9.0);
+  ts.record(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 9.0);
+}
+
+TEST(WindowMaxF, ForgetsOutsideWindow) {
+  TimeSeries ts(5.0);
+  WindowMax f;
+  ts.record(0.0, 100.0);
+  ts.record(10.0, 1.0);  // trims the old peak
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 1.0);
+}
+
+TEST(LinearTrendF, ExtrapolatesARamp) {
+  auto ts = ramp(2.0, 10);  // value = 2t, latest at t=9 -> 18
+  LinearTrend now(0.0);
+  EXPECT_NEAR(now.estimate(ts, 0.0), 18.0, 1e-9);
+  LinearTrend ahead(3.0);
+  EXPECT_NEAR(ahead.estimate(ts, 0.0), 24.0, 1e-9);
+}
+
+TEST(LinearTrendF, ClampsAtZero) {
+  auto ts = ramp(-1.0, 5, 1.0, 3.0);  // falls through zero
+  LinearTrend ahead(10.0);
+  EXPECT_DOUBLE_EQ(ahead.estimate(ts, 0.0), 0.0);
+}
+
+TEST(LinearTrendF, DegenerateCases) {
+  TimeSeries ts(100.0);
+  LinearTrend f(1.0);
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 5.0), 5.0);  // empty -> fallback
+  ts.record(3.0, 2.5);
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 2.5);  // single sample -> last
+  ts.record(3.0, 7.5);                          // same timestamp
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 7.5);  // degenerate denom -> last
+  EXPECT_THROW(LinearTrend(-1.0), std::invalid_argument);
+}
+
+TEST(AdaptiveF, PicksTrendOnARamp) {
+  Adaptive f;
+  auto ts = ramp(1.5, 12);
+  // Candidate order: last-value, window-mean, ewma, linear-trend.
+  EXPECT_EQ(f.best_candidate(ts), 3u);
+  // One-step-ahead trend: predicts the next sample, t=12 -> 18.
+  EXPECT_NEAR(f.estimate(ts, 0.0), 1.5 * 12.0, 1e-9);
+}
+
+TEST(AdaptiveF, PicksAveragingOnNoise) {
+  // Zero-mean noise: window-mean's one-step-ahead error beats last-value
+  // and the trend fit.
+  TimeSeries ts(1e9);
+  util::Rng rng(9);
+  for (int i = 0; i < 40; ++i) ts.record(i, 5.0 + rng.normal(0.0, 1.0));
+  Adaptive f;
+  EXPECT_EQ(f.best_candidate(ts), 1u) << "window-mean should win";
+  EXPECT_NEAR(f.estimate(ts, 0.0), 5.0, 0.6);
+}
+
+TEST(AdaptiveF, ConstantSeriesAnyCandidateIsExact) {
+  TimeSeries ts(1e9);
+  for (int i = 0; i < 10; ++i) ts.record(i, 4.2);
+  Adaptive f;
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 4.2);
+}
+
+TEST(AdaptiveF, ShortSeriesFallsBackGracefully) {
+  Adaptive f;
+  TimeSeries ts(100.0);
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 1.25), 1.25);
+  ts.record(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 2.0);
+}
+
+TEST(AdaptiveF, Validation) {
+  EXPECT_THROW(Adaptive(std::vector<ForecasterPtr>{}), std::invalid_argument);
+  EXPECT_THROW(Adaptive(std::vector<ForecasterPtr>{nullptr}),
+               std::invalid_argument);
+  Adaptive f;
+  EXPECT_NE(f.name().find("adaptive("), std::string::npos);
+  EXPECT_NE(f.name().find("last-value"), std::string::npos);
+}
+
+TEST(AdaptiveF, CustomCandidates) {
+  Adaptive f({std::make_shared<LastValue>(), std::make_shared<WindowMax>()});
+  // On a decaying series, last-value's one-step error is smaller than the
+  // stale maximum's.
+  auto ts = ramp(-0.5, 10, 1.0, 10.0);
+  EXPECT_EQ(f.best_candidate(ts), 0u);
+}
+
+}  // namespace
+}  // namespace netsel::remos

@@ -1,0 +1,165 @@
+#include "topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/dot.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::topo {
+namespace {
+
+TopologyGraph tiny() {
+  TopologyGraph g;
+  NodeId sw = g.add_network("sw");
+  g.add_compute("a");
+  g.add_compute("b", 2.0, {"alpha"});
+  g.add_link(sw, 1, 100e6);
+  g.add_link(sw, 2, 155e6, 55e6, "asym");
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  auto g = tiny();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.compute_node_count(), 2u);
+  EXPECT_EQ(g.node(0).kind, NodeKind::Network);
+  EXPECT_TRUE(g.is_compute(1));
+  EXPECT_FALSE(g.is_compute(0));
+  EXPECT_EQ(g.node(2).cpu_capacity, 2.0);
+  EXPECT_TRUE(g.node(2).has_tag("alpha"));
+  EXPECT_FALSE(g.node(1).has_tag("alpha"));
+}
+
+TEST(Graph, FindNodeByName) {
+  auto g = tiny();
+  EXPECT_EQ(g.find_node("sw"), std::optional<NodeId>(0));
+  EXPECT_EQ(g.find_node("b"), std::optional<NodeId>(2));
+  EXPECT_FALSE(g.find_node("zzz").has_value());
+}
+
+TEST(Graph, ComputeNodesInIdOrder) {
+  auto g = tiny();
+  auto cn = g.compute_nodes();
+  ASSERT_EQ(cn.size(), 2u);
+  EXPECT_EQ(cn[0], 1);
+  EXPECT_EQ(cn[1], 2);
+}
+
+TEST(Graph, OtherEnd) {
+  auto g = tiny();
+  EXPECT_EQ(g.other_end(0, 0), 1);
+  EXPECT_EQ(g.other_end(0, 1), 0);
+  EXPECT_THROW(g.other_end(0, 2), std::invalid_argument);
+}
+
+TEST(Graph, LinksOfAndDegree) {
+  auto g = tiny();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  auto ls = g.links_of(0);
+  EXPECT_EQ(ls.size(), 2u);
+}
+
+TEST(Graph, LinkCapacities) {
+  auto g = tiny();
+  EXPECT_DOUBLE_EQ(g.link(0).capacity_min(), 100e6);
+  // Asymmetric link: min over the two directions (paper §3.3).
+  EXPECT_DOUBLE_EQ(g.link(1).capacity_min(), 55e6);
+  EXPECT_EQ(g.link(1).name, "asym");
+  // Auto-generated name.
+  EXPECT_EQ(g.link(0).name, "sw--a");
+}
+
+TEST(Graph, RejectsDuplicateName) {
+  TopologyGraph g;
+  g.add_compute("x");
+  EXPECT_THROW(g.add_compute("x"), std::invalid_argument);
+  EXPECT_THROW(g.add_network("x"), std::invalid_argument);
+}
+
+TEST(Graph, RejectsEmptyName) {
+  TopologyGraph g;
+  EXPECT_THROW(g.add_compute(""), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadCapacity) {
+  TopologyGraph g;
+  EXPECT_THROW(g.add_compute("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_compute("y", -1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadLinks) {
+  TopologyGraph g;
+  NodeId a = g.add_compute("a");
+  NodeId b = g.add_compute("b");
+  EXPECT_THROW(g.add_link(a, a, 1e6), std::invalid_argument);   // self loop
+  EXPECT_THROW(g.add_link(a, b, 0.0), std::invalid_argument);   // zero cap
+  EXPECT_THROW(g.add_link(a, 99, 1e6), std::invalid_argument);  // bad id
+  EXPECT_THROW(g.add_link(-1, b, 1e6), std::invalid_argument);
+}
+
+TEST(GraphValidate, AcceptsConnected) {
+  EXPECT_NO_THROW(tiny().validate());
+}
+
+TEST(GraphValidate, RejectsEmpty) {
+  TopologyGraph g;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(GraphValidate, RejectsDisconnected) {
+  TopologyGraph g;
+  g.add_compute("a");
+  g.add_compute("b");
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(GraphValidate, RejectsNoComputeNodes) {
+  TopologyGraph g;
+  g.add_network("s1");
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(GraphAcyclic, TreeIsAcyclic) {
+  EXPECT_TRUE(tiny().is_acyclic());
+  EXPECT_TRUE(testbed().is_acyclic());
+}
+
+TEST(GraphAcyclic, CycleDetected) {
+  TopologyGraph g;
+  NodeId a = g.add_network("a");
+  NodeId b = g.add_network("b");
+  NodeId c = g.add_network("c");
+  g.add_compute("h");
+  g.add_link(a, b, 1e6);
+  g.add_link(b, c, 1e6);
+  g.add_link(c, a, 1e6);
+  g.add_link(a, 3, 1e6);
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Dot, ExportsAllNodesAndHighlights) {
+  auto g = testbed();
+  DotOptions opt;
+  opt.highlight = {g.find_node("m-1").value(), g.find_node("m-2").value()};
+  std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("\"panama\" [shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("m-18"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=3"), std::string::npos);
+  EXPECT_NE(dot.find("155.0 Mbps"), std::string::npos);
+}
+
+TEST(Dot, CustomLinkLabelsValidated) {
+  auto g = tiny();
+  DotOptions opt;
+  opt.link_labels = {"one"};  // wrong size
+  EXPECT_THROW(to_dot(g, opt), std::invalid_argument);
+  opt.link_labels = {"one", "two"};
+  std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("one"), std::string::npos);
+  EXPECT_NE(dot.find("two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netsel::topo

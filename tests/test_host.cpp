@@ -1,0 +1,166 @@
+#include "sim/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netsel::sim {
+namespace {
+
+struct HostFixture : ::testing::Test {
+  Simulator sim;
+  HostConfig cfg{1.0, 60.0};
+};
+
+TEST_F(HostFixture, SingleJobRunsAtFullCapacity) {
+  Host h(sim, cfg);
+  double done_at = -1.0;
+  h.submit(10.0, kBackgroundOwner, [&](JobId) { done_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST_F(HostFixture, CapacityScalesServiceRate) {
+  HostConfig fast{2.0, 60.0};
+  Host h(sim, fast);
+  double done_at = -1.0;
+  h.submit(10.0, kBackgroundOwner, [&](JobId) { done_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST_F(HostFixture, TwoEqualJobsShareProcessor) {
+  Host h(sim, cfg);
+  double a = -1, b = -1;
+  h.submit(5.0, kBackgroundOwner, [&](JobId) { a = sim.now(); });
+  h.submit(5.0, kBackgroundOwner, [&](JobId) { b = sim.now(); });
+  sim.run();
+  // Both share the CPU the whole time: each takes 10 s.
+  EXPECT_DOUBLE_EQ(a, 10.0);
+  EXPECT_DOUBLE_EQ(b, 10.0);
+}
+
+TEST_F(HostFixture, ProcessorSharingClosedForm) {
+  // Jobs of 4 and 8 cpu-seconds started together: the short one finishes at
+  // t=8 (rate 1/2); the long one then runs alone: 8 + (8-4) = 12.
+  Host h(sim, cfg);
+  double a = -1, b = -1;
+  h.submit(4.0, kBackgroundOwner, [&](JobId) { a = sim.now(); });
+  h.submit(8.0, kBackgroundOwner, [&](JobId) { b = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(a, 8.0);
+  EXPECT_DOUBLE_EQ(b, 12.0);
+}
+
+TEST_F(HostFixture, LateArrivalSlowsRunningJob) {
+  // Job A (10 cpu-s) starts at 0; job B (2 cpu-s) arrives at 4.
+  // A alone 0..4 does 4 work. Then both at rate 1/2: B finishes at 4+4=8
+  // (2 work), A has 10-4-2=4 left, alone again: finishes at 12.
+  Host h(sim, cfg);
+  double a = -1, b = -1;
+  h.submit(10.0, kBackgroundOwner, [&](JobId) { a = sim.now(); });
+  sim.schedule_at(4.0, [&] {
+    h.submit(2.0, kBackgroundOwner, [&](JobId) { b = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(b, 8.0);
+  EXPECT_DOUBLE_EQ(a, 12.0);
+}
+
+TEST_F(HostFixture, KillReturnsRemainingWork) {
+  Host h(sim, cfg);
+  bool completed = false;
+  JobId id = h.submit(10.0, kBackgroundOwner, [&](JobId) { completed = true; });
+  sim.run_until(4.0);
+  double left = h.kill(id);
+  EXPECT_DOUBLE_EQ(left, 6.0);
+  EXPECT_FALSE(h.is_active(id));
+  sim.run();
+  EXPECT_FALSE(completed) << "killed job must not fire its callback";
+  EXPECT_THROW(h.kill(id), std::invalid_argument);
+}
+
+TEST_F(HostFixture, RemainingWorkSettledToNow) {
+  Host h(sim, cfg);
+  JobId a = h.submit(10.0, kBackgroundOwner);
+  h.submit(10.0, kBackgroundOwner);
+  sim.run_until(6.0);
+  EXPECT_NEAR(h.remaining_work(a), 10.0 - 3.0, 1e-9);  // rate 1/2 for 6 s
+}
+
+TEST_F(HostFixture, ActiveJobCounts) {
+  Host h(sim, cfg);
+  EXPECT_EQ(h.active_jobs(), 0);
+  h.submit(100.0, kBackgroundOwner);
+  h.submit(100.0, 7);
+  h.submit(100.0, 7);
+  EXPECT_EQ(h.active_jobs(), 3);
+  EXPECT_EQ(h.active_jobs_excluding(7), 1);
+  EXPECT_EQ(h.active_jobs_excluding(kBackgroundOwner), 2);
+  EXPECT_DOUBLE_EQ(h.current_rate_per_job(), 1.0 / 3.0);
+}
+
+TEST_F(HostFixture, LoadAverageConvergesToJobCount) {
+  Host h(sim, cfg);
+  h.submit(1e9, kBackgroundOwner);
+  h.submit(1e9, kBackgroundOwner);
+  EXPECT_NEAR(h.load_average(), 0.0, 1e-12);
+  sim.run_until(60.0);  // one time constant: 2 * (1 - e^-1)
+  EXPECT_NEAR(h.load_average(), 2.0 * (1.0 - std::exp(-1.0)), 1e-9);
+  sim.run_until(600.0);
+  EXPECT_NEAR(h.load_average(), 2.0, 1e-4);
+}
+
+TEST_F(HostFixture, LoadAverageDecaysAfterCompletion) {
+  Host h(sim, cfg);
+  h.submit(30.0, kBackgroundOwner);  // finishes at t=30
+  sim.run_until(30.0);
+  double peak = h.load_average();
+  EXPECT_NEAR(peak, 1.0 - std::exp(-0.5), 1e-9);
+  sim.run_until(90.0);  // one tau after completion
+  EXPECT_NEAR(h.load_average(), peak * std::exp(-1.0), 1e-9);
+}
+
+TEST_F(HostFixture, LoadAverageExcludingOwner) {
+  Host h(sim, cfg);
+  h.submit(1e9, kBackgroundOwner);
+  h.submit(1e9, 42);
+  sim.run_until(600.0);
+  EXPECT_NEAR(h.load_average(), 2.0, 1e-3);
+  EXPECT_NEAR(h.load_average_excluding(42), 1.0, 1e-3);
+  EXPECT_NEAR(h.load_average_excluding(kBackgroundOwner), 1.0, 1e-3);
+  EXPECT_NEAR(h.load_average_excluding(99), 2.0, 1e-3) << "unknown owner";
+}
+
+TEST_F(HostFixture, CompletionCallbackMaySubmitToSameHost) {
+  Host h(sim, cfg);
+  double second_done = -1.0;
+  h.submit(2.0, kBackgroundOwner, [&](JobId) {
+    h.submit(3.0, kBackgroundOwner, [&](JobId) { second_done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_done, 5.0);
+}
+
+TEST_F(HostFixture, SimultaneousCompletionsAllFire) {
+  Host h(sim, cfg);
+  int done = 0;
+  h.submit(5.0, kBackgroundOwner, [&](JobId) { ++done; });
+  h.submit(5.0, kBackgroundOwner, [&](JobId) { ++done; });
+  h.submit(5.0, kBackgroundOwner, [&](JobId) { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(h.active_jobs(), 0);
+}
+
+TEST_F(HostFixture, Rejections) {
+  Host h(sim, cfg);
+  EXPECT_THROW(h.submit(0.0, kBackgroundOwner), std::invalid_argument);
+  EXPECT_THROW(h.submit(-1.0, kBackgroundOwner), std::invalid_argument);
+  EXPECT_THROW(h.remaining_work(999), std::invalid_argument);
+  EXPECT_THROW(Host(sim, HostConfig{0.0, 60.0}), std::invalid_argument);
+  EXPECT_THROW(Host(sim, HostConfig{1.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsel::sim

@@ -1,0 +1,151 @@
+// Tests for the memory-availability extension (§3.4: "memory and disk
+// availability on the compute nodes" as future selection factors): topology
+// attribute, host accounting, monitor/Remos reporting, and the
+// min-free-memory selection requirement.
+
+#include <gtest/gtest.h>
+
+#include "load/load_generator.hpp"
+#include "remos/remos.hpp"
+#include "select/algorithms.hpp"
+#include "topo/generators.hpp"
+#include "topo/parse.hpp"
+
+namespace netsel {
+namespace {
+
+topo::TopologyGraph mem_star(double gb_each = 1e9) {
+  auto g = topo::star(4);
+  for (auto n : g.compute_nodes()) g.set_memory(n, gb_each);
+  return g;
+}
+
+TEST(MemoryTopo, AttributeAndValidation) {
+  auto g = mem_star();
+  EXPECT_DOUBLE_EQ(g.node(1).memory_bytes, 1e9);
+  EXPECT_THROW(g.set_memory(0, 1e9), std::invalid_argument);  // switch
+  EXPECT_THROW(g.set_memory(1, -1.0), std::invalid_argument);
+  EXPECT_THROW(g.set_memory(99, 1e9), std::invalid_argument);
+}
+
+TEST(MemoryHost, TracksPinnedMemory) {
+  sim::Simulator sim;
+  sim::Host h(sim, sim::HostConfig{});
+  EXPECT_DOUBLE_EQ(h.memory_in_use(), 0.0);
+  sim::JobId a = h.submit(100.0, 3e8, sim::kBackgroundOwner);
+  h.submit(5.0, 2e8, sim::kBackgroundOwner);
+  EXPECT_DOUBLE_EQ(h.memory_in_use(), 5e8);
+  sim.run_until(20.0);  // the 5 cpu-s job (shared: done at 10) releases
+  EXPECT_DOUBLE_EQ(h.memory_in_use(), 3e8);
+  h.kill(a);
+  EXPECT_DOUBLE_EQ(h.memory_in_use(), 0.0);
+  EXPECT_THROW(h.submit(1.0, -1.0, sim::kBackgroundOwner),
+               std::invalid_argument);
+}
+
+TEST(MemoryMonitor, ReportsFreeMemory) {
+  sim::NetworkSim net(mem_star());
+  auto h1 = net.topology().find_node("h0").value();
+  net.host(h1).submit(1e9, 6e8, sim::kBackgroundOwner);
+  remos::Remos remos(net);
+  remos.start();
+  net.sim().run_until(4.0);
+  auto snap = remos.snapshot();
+  EXPECT_DOUBLE_EQ(snap.free_memory(h1), 4e8);
+  auto h2 = net.topology().find_node("h1").value();
+  EXPECT_DOUBLE_EQ(snap.free_memory(h2), 1e9);
+}
+
+TEST(MemoryMonitor, OversubscriptionClampsToZero) {
+  sim::NetworkSim net(mem_star());
+  auto h1 = net.topology().find_node("h0").value();
+  net.host(h1).submit(1e9, 2e9, sim::kBackgroundOwner);  // 2 GB on a 1 GB node
+  remos::Remos remos(net);
+  remos.start();
+  auto snap = remos.snapshot();
+  EXPECT_DOUBLE_EQ(snap.free_memory(h1), 0.0);
+}
+
+TEST(MemorySelect, RequirementFiltersNodes) {
+  auto g = mem_star();
+  remos::NetworkSnapshot snap(g);
+  snap.set_free_memory(1, 1e8);  // h0 nearly full
+  snap.set_free_memory(2, 1e8);  // h1 nearly full
+  select::SelectionOptions opt;
+  opt.num_nodes = 2;
+  opt.min_free_memory_bytes = 5e8;
+  auto r = select::select_balanced(snap, opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.nodes, (std::vector<topo::NodeId>{3, 4}));
+  opt.num_nodes = 3;
+  EXPECT_FALSE(select::select_balanced(snap, opt).feasible);
+  opt.min_free_memory_bytes = -1.0;
+  EXPECT_THROW(select::select_balanced(snap, opt), std::invalid_argument);
+}
+
+TEST(MemorySelect, UnmodelledNodesNeverSatisfyRequirement) {
+  auto g = topo::star(3);  // no memory modelled
+  remos::NetworkSnapshot snap(g);
+  select::SelectionOptions opt;
+  opt.num_nodes = 1;
+  opt.min_free_memory_bytes = 1.0;
+  EXPECT_FALSE(select::select_max_compute(snap, opt).feasible);
+  opt.min_free_memory_bytes = 0.0;
+  EXPECT_TRUE(select::select_max_compute(snap, opt).feasible);
+}
+
+TEST(MemoryLoadGen, JobsPinMemory) {
+  sim::NetworkSim net(mem_star());
+  load::LoadGenConfig cfg;
+  cfg.mean_interarrival = 2.0;
+  cfg.mean_memory_bytes = 1e8;
+  load::HostLoadGenerator gen(net, cfg, util::Rng(3));
+  gen.start();
+  net.sim().run_until(300.0);
+  double pinned = 0.0;
+  for (auto n : net.topology().compute_nodes())
+    pinned += net.host(n).memory_in_use();
+  EXPECT_GT(pinned, 0.0);
+}
+
+TEST(MemoryParse, NodeOptionAndRoundTrip) {
+  auto g = topo::parse_topology(
+      "node sw router\n"
+      "node big compute memory=2GB\n"
+      "node small compute memory=512MB tags=alpha\n"
+      "link sw big 100Mbps\nlink sw small 100Mbps\n");
+  EXPECT_DOUBLE_EQ(g.node(g.find_node("big").value()).memory_bytes, 2e9);
+  EXPECT_DOUBLE_EQ(g.node(g.find_node("small").value()).memory_bytes, 512e6);
+  auto g2 = topo::parse_topology(topo::format_topology(g));
+  EXPECT_DOUBLE_EQ(g2.node(g2.find_node("big").value()).memory_bytes, 2e9);
+  EXPECT_DOUBLE_EQ(topo::parse_bytes("64KB"), 64e3);
+  EXPECT_DOUBLE_EQ(topo::parse_bytes("100B"), 100.0);
+  EXPECT_THROW(topo::parse_bytes("100"), topo::ParseError);
+  EXPECT_THROW(topo::parse_bytes("0MB"), topo::ParseError);
+}
+
+TEST(MemoryEndToEnd, SelectionAvoidsMemoryPressuredNodes) {
+  // Background jobs pin lots of memory on two nodes; a memory-demanding
+  // placement must avoid them even though their cpu load is similar.
+  auto g = mem_star(1e9);
+  sim::NetworkSim net(std::move(g));
+  auto h0 = net.topology().find_node("h0").value();
+  auto h1 = net.topology().find_node("h1").value();
+  net.host(h0).submit(1e9, 9e8, sim::kBackgroundOwner);
+  net.host(h1).submit(1e9, 9e8, sim::kBackgroundOwner);
+  remos::Remos remos(net);
+  remos.start();
+  net.sim().run_until(4.0);
+  select::SelectionOptions opt;
+  opt.num_nodes = 2;
+  opt.min_free_memory_bytes = 5e8;
+  auto r = select::select_balanced(remos.snapshot(), opt);
+  ASSERT_TRUE(r.feasible);
+  for (auto n : r.nodes) {
+    EXPECT_NE(n, h0);
+    EXPECT_NE(n, h1);
+  }
+}
+
+}  // namespace
+}  // namespace netsel

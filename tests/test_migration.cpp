@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "api/migration.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::api {
+namespace {
+
+appsim::LooselySyncConfig long_job(int nodes, int iterations) {
+  appsim::LooselySyncConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.iterations = iterations;
+  cfg.phases = {appsim::PhaseSpec{1.0, 0.0, appsim::CommPattern::None}};
+  return cfg;
+}
+
+TEST(AppMigration, MovesAtIterationBoundary) {
+  sim::NetworkSim net(topo::testbed());
+  appsim::LooselySynchronousApp app(net, long_job(2, 10));
+  auto m1 = net.topology().find_node("m-1").value();
+  auto m2 = net.topology().find_node("m-2").value();
+  auto m3 = net.topology().find_node("m-3").value();
+  auto m4 = net.topology().find_node("m-4").value();
+  app.start({m1, m2});
+  net.sim().run_until(2.5);  // mid-iteration 3
+  app.migrate({m3, m4}, 0.0);
+  EXPECT_EQ(app.migrations_completed(), 0);
+  net.sim().run_until(3.5);  // boundary at t=3 applies it
+  EXPECT_EQ(app.migrations_completed(), 1);
+  // New nodes carry the app's jobs now.
+  EXPECT_EQ(net.host(m3).active_jobs(), 1);
+  EXPECT_EQ(net.host(m1).active_jobs(), 0);
+  net.sim().run_until(60.0);
+  ASSERT_TRUE(app.finished());
+  EXPECT_DOUBLE_EQ(app.elapsed(), 10.0);  // free migration, same speed
+}
+
+TEST(AppMigration, StateTransferCostsTime) {
+  sim::NetworkSim net(topo::testbed());
+  appsim::LooselySynchronousApp app(net, long_job(2, 10));
+  auto m1 = net.topology().find_node("m-1").value();
+  auto m2 = net.topology().find_node("m-2").value();
+  auto m3 = net.topology().find_node("m-3").value();
+  app.start({m1, m2});
+  net.sim().run_until(0.5);
+  // Move only rank 0; 12.5 MB of state = 1 s on a 100 Mbps path.
+  app.migrate({m3, m2}, 12.5e6);
+  net.sim().run_until(100.0);
+  ASSERT_TRUE(app.finished());
+  EXPECT_NEAR(app.elapsed(), 10.0 + 1.0, 1e-6);
+}
+
+TEST(AppMigration, SecondRequestReplacesFirst) {
+  sim::NetworkSim net(topo::testbed());
+  appsim::LooselySynchronousApp app(net, long_job(2, 5));
+  auto m1 = net.topology().find_node("m-1").value();
+  auto m2 = net.topology().find_node("m-2").value();
+  auto m3 = net.topology().find_node("m-3").value();
+  auto m4 = net.topology().find_node("m-4").value();
+  app.start({m1, m2});
+  net.sim().run_until(0.2);
+  app.migrate({m3, m2}, 0.0);
+  app.migrate({m4, m2}, 0.0);  // replaces the pending request
+  net.sim().run_until(1.5);
+  EXPECT_EQ(app.migrations_completed(), 1);
+  EXPECT_EQ(net.host(m4).active_jobs(), 1);
+  EXPECT_EQ(net.host(m3).active_jobs(), 0);
+}
+
+TEST(AppMigration, Validation) {
+  sim::NetworkSim net(topo::testbed());
+  appsim::LooselySynchronousApp app(net, long_job(2, 5));
+  EXPECT_THROW(app.migrate({0}, 0.0), std::invalid_argument);  // wrong size
+  auto m1 = net.topology().find_node("m-1").value();
+  auto m2 = net.topology().find_node("m-2").value();
+  EXPECT_THROW(app.migrate({m1, m2}, -1.0), std::invalid_argument);
+}
+
+struct ControllerFixture : ::testing::Test {
+  sim::NetworkSim net{topo::testbed()};
+  remos::Remos remos{net};
+
+  topo::NodeId host(const char* name) {
+    return net.topology().find_node(name).value();
+  }
+};
+
+TEST_F(ControllerFixture, MigratesAwayFromHotspot) {
+  remos.start();
+  appsim::LooselySynchronousApp app(net, long_job(4, 400));
+  app.start({host("m-1"), host("m-2"), host("m-3"), host("m-4")});
+
+  MigrationPolicy policy;
+  policy.check_interval = 10.0;
+  policy.improvement_threshold = 0.5;
+  policy.state_bytes_per_node = 0.0;
+  policy.cooldown = 30.0;
+  MigrationController ctl(remos, app, policy);
+  ctl.start();
+
+  // At t=50 a heavy external job lands on m-1 and stays.
+  net.sim().schedule_at(50.0, [&] {
+    net.host(host("m-1")).submit(1e9, sim::kBackgroundOwner);
+    net.host(host("m-1")).submit(1e9, sim::kBackgroundOwner);
+    net.host(host("m-1")).submit(1e9, sim::kBackgroundOwner);
+  });
+
+  net.sim().run_until(1000.0);
+  ASSERT_TRUE(app.finished());
+  EXPECT_GE(ctl.migrations_triggered(), 1);
+  EXPECT_GT(ctl.checks_performed(), 3);
+  // With migration the 3x hotspot only hurts briefly: well under the
+  // 4x-slowdown-from-t=50 worst case (400 + ~50*3 = 1450 range), and the
+  // tail should run at full speed.
+  EXPECT_LT(app.elapsed(), 520.0);
+}
+
+TEST_F(ControllerFixture, NoMigrationWithoutCause) {
+  remos.start();
+  appsim::LooselySynchronousApp app(net, long_job(4, 50));
+  app.start({host("m-1"), host("m-2"), host("m-3"), host("m-4")});
+  MigrationPolicy policy;
+  policy.check_interval = 5.0;
+  MigrationController ctl(remos, app, policy);
+  ctl.start();
+  net.sim().run_until(200.0);
+  ASSERT_TRUE(app.finished());
+  EXPECT_EQ(ctl.migrations_triggered(), 0);
+  EXPECT_DOUBLE_EQ(app.elapsed(), 50.0);
+}
+
+TEST_F(ControllerFixture, ExcludesOwnLoadFromDecision) {
+  // The app itself loads its nodes; without owner exclusion the controller
+  // would see load 1.0 on its own nodes and thrash toward "idle" ones.
+  remos.start();
+  appsim::LooselySynchronousApp app(net, long_job(4, 100));
+  app.start({host("m-1"), host("m-2"), host("m-3"), host("m-4")});
+  MigrationPolicy policy;
+  policy.check_interval = 5.0;
+  policy.improvement_threshold = 0.2;  // aggressive: would thrash if buggy
+  MigrationController ctl(remos, app, policy);
+  ctl.start();
+  net.sim().run_until(500.0);
+  ASSERT_TRUE(app.finished());
+  EXPECT_EQ(ctl.migrations_triggered(), 0)
+      << "own load must not look like competing load";
+}
+
+TEST_F(ControllerFixture, CooldownLimitsFrequency) {
+  remos.start();
+  appsim::LooselySynchronousApp app(net, long_job(2, 300));
+  app.start({host("m-1"), host("m-2")});
+  MigrationPolicy policy;
+  policy.check_interval = 5.0;
+  policy.cooldown = 1e9;  // at most one migration ever
+  policy.improvement_threshold = 0.1;
+  policy.state_bytes_per_node = 0.0;
+  MigrationController ctl(remos, app, policy);
+  ctl.start();
+  // Load the app's nodes repeatedly; only one migration may fire.
+  net.sim().schedule_at(20.0, [&] {
+    net.host(host("m-1")).submit(1e9, sim::kBackgroundOwner);
+    net.host(host("m-1")).submit(1e9, sim::kBackgroundOwner);
+  });
+  net.sim().schedule_at(120.0, [&] {
+    net.host(host("m-3")).submit(1e9, sim::kBackgroundOwner);
+  });
+  net.sim().run_until(2000.0);
+  ASSERT_TRUE(app.finished());
+  EXPECT_LE(ctl.migrations_triggered(), 1);
+}
+
+TEST_F(ControllerFixture, PolicyValidation) {
+  appsim::LooselySynchronousApp app(net, long_job(2, 5));
+  MigrationPolicy bad;
+  bad.check_interval = 0.0;
+  EXPECT_THROW(MigrationController(remos, app, bad), std::invalid_argument);
+  bad = MigrationPolicy{};
+  bad.improvement_threshold = -0.1;
+  EXPECT_THROW(MigrationController(remos, app, bad), std::invalid_argument);
+}
+
+TEST_F(ControllerFixture, StopHaltsChecks) {
+  remos.start();
+  appsim::LooselySynchronousApp app(net, long_job(2, 100));
+  app.start({host("m-1"), host("m-2")});
+  MigrationPolicy policy;
+  policy.check_interval = 5.0;
+  MigrationController ctl(remos, app, policy);
+  ctl.start();
+  net.sim().run_until(20.0);
+  ctl.stop();
+  int checks = ctl.checks_performed();
+  net.sim().run_until(100.0);
+  EXPECT_EQ(ctl.checks_performed(), checks);
+}
+
+}  // namespace
+}  // namespace netsel::api

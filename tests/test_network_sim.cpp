@@ -1,0 +1,170 @@
+#include "sim/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "topo/generators.hpp"
+
+namespace netsel::sim {
+namespace {
+
+TEST(NetworkSimFacade, HostsExistOnlyForComputeNodes) {
+  NetworkSim net(topo::testbed());
+  for (std::size_t i = 0; i < net.topology().node_count(); ++i) {
+    auto id = static_cast<topo::NodeId>(i);
+    EXPECT_EQ(net.has_host(id), net.topology().is_compute(id));
+  }
+  auto panama = net.topology().find_node("panama").value();
+  EXPECT_THROW(net.host(panama), std::invalid_argument);
+  auto m1 = net.topology().find_node("m-1").value();
+  EXPECT_EQ(net.host(m1).name(), "m-1");
+}
+
+TEST(NetworkSimFacade, OwnerTagsAreUniqueAndNonBackground) {
+  NetworkSim net(topo::star(2));
+  OwnerTag a = net.new_owner();
+  OwnerTag b = net.new_owner();
+  EXPECT_NE(a, kBackgroundOwner);
+  EXPECT_NE(b, kBackgroundOwner);
+  EXPECT_NE(a, b);
+}
+
+TEST(NetworkSimFacade, NodeCapacityScalesHostConfig) {
+  topo::TopologyGraph g;
+  auto sw = g.add_network("sw");
+  auto fast = g.add_compute("fast", 4.0);
+  auto slow = g.add_compute("slow", 1.0);
+  g.add_link(sw, fast, 100e6);
+  g.add_link(sw, slow, 100e6);
+  NetworkSimConfig cfg;
+  cfg.host.capacity = 2.0;  // base capacity multiplies node capacity
+  NetworkSim net(std::move(g), cfg);
+  EXPECT_DOUBLE_EQ(net.host(fast).capacity(), 8.0);
+  EXPECT_DOUBLE_EQ(net.host(slow).capacity(), 2.0);
+}
+
+TEST(NetworkSimFacade, ValidatesTopologyOnConstruction) {
+  topo::TopologyGraph g;
+  g.add_compute("isolated-a");
+  g.add_compute("isolated-b");
+  EXPECT_THROW(NetworkSim net(std::move(g)), std::invalid_argument);
+}
+
+TEST(NetworkSimFacade, RoutesAndNetworkShareTheClock) {
+  NetworkSim net(topo::star(3));
+  auto h0 = net.topology().find_node("h0").value();
+  auto h1 = net.topology().find_node("h1").value();
+  double job_done = -1.0, flow_done = -1.0;
+  net.host(h0).submit(3.0, kBackgroundOwner,
+                      [&](JobId) { job_done = net.sim().now(); });
+  net.network().start_flow(h0, h1, 25e6, kBackgroundOwner,
+                           [&](FlowId) { flow_done = net.sim().now(); });
+  net.sim().run();
+  EXPECT_DOUBLE_EQ(job_done, 3.0);
+  EXPECT_NEAR(flow_done, 2.0, 1e-9);
+}
+
+TEST(Conservation, SerialJobsConserveWork) {
+  // Property: with jobs running back to back (never concurrent), the total
+  // completion time equals the sum of demands exactly.
+  NetworkSim net(topo::star(1));
+  auto h = net.topology().find_node("h0").value();
+  util::Rng rng(17);
+  double total = 0.0;
+  std::function<void()> submit_next = [&] {
+    if (total >= 100.0) return;
+    double demand = rng.uniform(0.1, 5.0);
+    total += demand;
+    net.host(h).submit(demand, kBackgroundOwner, [&](JobId) { submit_next(); });
+  };
+  submit_next();
+  net.sim().run();
+  EXPECT_NEAR(net.sim().now(), total, 1e-6);
+}
+
+TEST(Conservation, ConcurrentJobsConserveAggregateWork) {
+  // Property: processor sharing never creates or destroys work — the host
+  // finishes N jobs totalling W reference-seconds exactly at t = W (single
+  // unit-capacity host, all jobs submitted at t=0).
+  NetworkSim net(topo::star(1));
+  auto h = net.topology().find_node("h0").value();
+  util::Rng rng(18);
+  double total = 0.0;
+  int remaining = 25;
+  for (int i = 0; i < 25; ++i) {
+    double demand = rng.uniform(0.5, 8.0);
+    total += demand;
+    net.host(h).submit(demand, kBackgroundOwner, [&](JobId) { --remaining; });
+  }
+  net.sim().run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_NEAR(net.sim().now(), total, 1e-6);
+}
+
+TEST(Conservation, FlowBytesConservedThroughReshares) {
+  // Property: however rates re-share as flows come and go, each flow
+  // completes after delivering exactly its bytes — total simulated time
+  // matches a hand-computed fluid schedule for a deterministic case, and
+  // all completions happen.
+  NetworkSim net(topo::star(2));
+  auto h0 = net.topology().find_node("h0").value();
+  auto h1 = net.topology().find_node("h1").value();
+  int done = 0;
+  // Three staggered transfers on the same 100 Mbps path (12.5 MB/s):
+  // t=0: A (25 MB). t=1: B (25 MB). t=2: C (12.5 MB).
+  // 0-1: A alone ships 12.5. 1-2: A,B ship 6.25 each.
+  // 2-..: three flows at ~4.1667 MB/s each; C (12.5) finishes at t=5;
+  // A has 25-12.5-6.25-12.5=... A: 25-12.5-6.25 = 6.25 left at t=2, ships
+  // 12.5 by t=5 -> done at t? A finishes when remaining 6.25 at 4.1667/s =
+  // 1.5 -> t=3.5. Then B (12.5 left at t=3.5 minus 6.25 shipped 2..3.5) ...
+  // Simply assert: all three complete and the final completion matches the
+  // work-conservation bound: total 62.5 MB over a 12.5 MB/s link = 5 s.
+  net.network().start_flow(h0, h1, 25e6, kBackgroundOwner,
+                           [&](FlowId) { ++done; });
+  net.sim().schedule_at(1.0, [&] {
+    net.network().start_flow(h0, h1, 25e6, kBackgroundOwner,
+                             [&](FlowId) { ++done; });
+  });
+  net.sim().schedule_at(2.0, [&] {
+    net.network().start_flow(h0, h1, 12.5e6, kBackgroundOwner,
+                             [&](FlowId) { ++done; });
+  });
+  net.sim().run();
+  EXPECT_EQ(done, 3);
+  EXPECT_NEAR(net.sim().now(), 5.0, 1e-6);
+}
+
+TEST(Conservation, RandomisedFlowChurnTerminates) {
+  // Stress: random transfers between random hosts with occasional
+  // cancellations; the event loop must drain with no flows left.
+  NetworkSim net(topo::testbed());
+  util::Rng rng(19);
+  auto hosts = net.topology().compute_nodes();
+  std::vector<FlowId> live;
+  for (int i = 0; i < 200; ++i) {
+    double at = rng.uniform(0.0, 50.0);
+    net.sim().schedule_at(at, [&net, &rng, &hosts, &live] {
+      auto a = hosts[static_cast<std::size_t>(rng.uniform_int(0, 17))];
+      auto b = hosts[static_cast<std::size_t>(rng.uniform_int(0, 17))];
+      if (a == b) return;
+      live.push_back(net.network().start_flow(a, b, rng.uniform(1e5, 5e7),
+                                              kBackgroundOwner));
+      if (live.size() > 5 && rng.bernoulli(0.3)) {
+        FlowId victim = live[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+        if (net.network().is_active(victim)) net.network().cancel_flow(victim);
+      }
+    });
+  }
+  net.sim().run();
+  EXPECT_EQ(net.network().active_flows(), 0);
+  for (std::size_t l = 0; l < net.topology().link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    EXPECT_DOUBLE_EQ(net.network().link_used_bw(id, true), 0.0);
+    EXPECT_DOUBLE_EQ(net.network().link_used_bw(id, false), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace netsel::sim

@@ -1,0 +1,222 @@
+#include "remos/remos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "load/traffic_generator.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::remos {
+namespace {
+
+TEST(TimeSeriesTest, RecordsAndTrims) {
+  TimeSeries ts(10.0);
+  ts.record(0.0, 1.0);
+  ts.record(5.0, 2.0);
+  ts.record(12.0, 3.0);  // trims the t=0 sample (older than 12-10)
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.latest().value, 3.0);
+}
+
+TEST(TimeSeriesTest, RejectsOutOfOrder) {
+  TimeSeries ts(10.0);
+  ts.record(5.0, 1.0);
+  EXPECT_THROW(ts.record(4.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, LatestOnEmptyThrows) {
+  TimeSeries ts(10.0);
+  EXPECT_THROW(ts.latest(), std::logic_error);
+}
+
+TEST(Forecasters, LastValue) {
+  TimeSeries ts(100.0);
+  LastValue f;
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 9.0), 9.0);  // fallback on empty
+  ts.record(0.0, 1.0);
+  ts.record(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 9.0), 5.0);
+}
+
+TEST(Forecasters, WindowMean) {
+  TimeSeries ts(100.0);
+  WindowMean f;
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 7.0), 7.0);
+  ts.record(0.0, 2.0);
+  ts.record(1.0, 4.0);
+  ts.record(2.0, 9.0);
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 5.0);
+}
+
+TEST(Forecasters, EwmaWeightsRecentSamples) {
+  TimeSeries ts(100.0);
+  Ewma f(0.5);
+  ts.record(0.0, 0.0);
+  ts.record(1.0, 0.0);
+  ts.record(2.0, 8.0);
+  // est = 0, then 0.5*0+0.5*0=0, then 0.5*8+0.5*0 = 4.
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 4.0);
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+struct RemosFixture : ::testing::Test {
+  sim::NetworkSim net{topo::testbed()};
+  topo::NodeId m1 = net.topology().find_node("m-1").value();
+  topo::NodeId m2 = net.topology().find_node("m-2").value();
+  topo::NodeId m13 = net.topology().find_node("m-13").value();
+};
+
+TEST_F(RemosFixture, MonitorPollsOnSchedule) {
+  Remos remos(net, MonitorConfig{2.0, 30.0});
+  remos.start();
+  net.sim().run_until(10.0);
+  // Polls at 0, 2, 4, 6, 8, 10.
+  EXPECT_EQ(remos.monitor().polls_completed(), 6u);
+  EXPECT_EQ(remos.monitor().load_history(m1).size(), 6u);
+}
+
+TEST_F(RemosFixture, MonitorStopHaltsPolling) {
+  Remos remos(net, MonitorConfig{2.0, 30.0});
+  remos.start();
+  net.sim().run_until(10.0);
+  remos.monitor().stop();
+  auto polls = remos.monitor().polls_completed();
+  net.sim().run_until(50.0);
+  EXPECT_EQ(remos.monitor().polls_completed(), polls);
+}
+
+TEST_F(RemosFixture, SnapshotSeesIdleNetwork) {
+  Remos remos(net);
+  remos.start();
+  net.sim().run_until(10.0);
+  auto snap = remos.snapshot();
+  EXPECT_DOUBLE_EQ(snap.cpu(m1), 1.0);
+  for (std::size_t l = 0; l < net.topology().link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    EXPECT_DOUBLE_EQ(snap.bw(id), snap.maxbw(id));
+    EXPECT_DOUBLE_EQ(snap.bwfactor(id), 1.0);
+  }
+}
+
+TEST_F(RemosFixture, SnapshotSeesHostLoad) {
+  net.host(m1).submit(1e9, sim::kBackgroundOwner);
+  net.host(m1).submit(1e9, sim::kBackgroundOwner);
+  Remos remos(net);
+  net.sim().run_until(600.0);  // loadavg converges to 2
+  remos.start();               // first poll immediately
+  auto snap = remos.snapshot();
+  EXPECT_NEAR(snap.cpu(m1), 1.0 / 3.0, 1e-3);  // cpu = 1/(1+2)
+  EXPECT_DOUBLE_EQ(snap.cpu(m2), 1.0);
+}
+
+TEST_F(RemosFixture, SnapshotSeesLinkTraffic) {
+  Remos remos(net);
+  net.network().start_flow(m1, m13, 1e12, sim::kBackgroundOwner);
+  remos.start();
+  net.sim().run_until(4.0);
+  auto snap = remos.snapshot();
+  // Every link on the m-1 -> m-13 route has 100 Mbps used in the forward
+  // direction; available = capacity - used (so the 155 Mbps ATM segment
+  // still shows 55 Mbps available).
+  auto links = net.routes().route(m1, m13);
+  for (auto l : links) {
+    EXPECT_LE(snap.bw(l), snap.maxbw(l) - 100e6 + 1e4)
+        << "link " << net.topology().link(l).name;
+  }
+}
+
+TEST_F(RemosFixture, MeasurementsAreStaleNotLive) {
+  // A flow started between polls is invisible until the next sweep — Remos
+  // reports measurements, not ground truth.
+  Remos remos(net, MonitorConfig{10.0, 60.0});
+  remos.start();                 // poll at t=0 (idle)
+  net.sim().run_until(2.0);
+  net.network().start_flow(m1, m13, 1e12, sim::kBackgroundOwner);
+  net.sim().run_until(5.0);      // next poll is at t=10
+  auto snap = remos.snapshot();
+  auto links = net.routes().route(m1, m13);
+  EXPECT_DOUBLE_EQ(snap.bw(links[0]), snap.maxbw(links[0]));
+  net.sim().run_until(11.0);     // poll at t=10 saw the flow
+  snap = remos.snapshot();
+  EXPECT_LT(snap.bw(links[0]), snap.maxbw(links[0]) * 0.05 + 1e4);
+}
+
+TEST_F(RemosFixture, FlowQueryBottleneckResidual) {
+  Remos remos(net);
+  remos.start();
+  net.sim().run_until(2.0);
+  EXPECT_NEAR(remos.available_bandwidth(m1, m2), 100e6, 1.0);
+  // Cross-router path is limited by the 100 Mbps segments even though the
+  // ATM link offers 155.
+  EXPECT_NEAR(remos.available_bandwidth(m1, m13), 100e6, 1.0);
+  EXPECT_TRUE(std::isinf(remos.available_bandwidth(m1, m1)));
+}
+
+TEST_F(RemosFixture, FlowQueryAccountsForSharing) {
+  Remos remos(net);
+  net.network().start_flow(m1, m2, 1e12, sim::kBackgroundOwner);
+  remos.start();
+  net.sim().run_until(4.0);
+  // Residual on m-1's uplink is ~0, but a new flow would get a fair share
+  // of capacity/(flows+1) = 50 Mbps.
+  double projected = remos.projected_flow_bandwidth(m1, m2);
+  EXPECT_NEAR(projected, 50e6, 1e6);
+  double residual = remos.available_bandwidth(m1, m2);
+  EXPECT_LT(residual, 1e6);
+}
+
+TEST_F(RemosFixture, OwnerExclusionRemovesOwnContribution) {
+  sim::OwnerTag app = net.new_owner();
+  net.host(m1).submit(1e9, app);
+  net.host(m1).submit(1e9, sim::kBackgroundOwner);
+  Remos remos(net);
+  net.sim().run_until(600.0);
+  remos.start();
+  QueryOptions all;
+  QueryOptions excl;
+  excl.exclude_owner = app;
+  EXPECT_NEAR(remos.load_average(m1, all), 2.0, 1e-2);
+  EXPECT_NEAR(remos.load_average(m1, excl), 1.0, 1e-2);
+  auto snap_all = remos.snapshot(all);
+  auto snap_excl = remos.snapshot(excl);
+  EXPECT_LT(snap_all.cpu(m1), snap_excl.cpu(m1));
+}
+
+TEST_F(RemosFixture, OwnerExclusionOnLinks) {
+  sim::OwnerTag app = net.new_owner();
+  net.network().start_flow(m1, m2, 1e12, app);
+  Remos remos(net);
+  remos.start();
+  net.sim().run_until(4.0);
+  QueryOptions excl;
+  excl.exclude_owner = app;
+  auto snap = remos.snapshot(excl);
+  auto links = net.routes().route(m1, m2);
+  EXPECT_NEAR(snap.bw(links[0]), snap.maxbw(links[0]), 1e3)
+      << "own traffic must be excluded";
+}
+
+TEST_F(RemosFixture, SnapshotHelpers) {
+  NetworkSnapshot snap(net.topology());
+  snap.set_loadavg(m1, 3.0);
+  EXPECT_DOUBLE_EQ(snap.cpu(m1), 0.25);
+  snap.set_cpu(m1, 0.5);
+  EXPECT_DOUBLE_EQ(snap.cpu_reference(m1, 1.0), 0.5);
+  EXPECT_THROW(snap.set_cpu(net.topology().find_node("panama").value(), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(snap.set_cpu(m1, 1.5), std::invalid_argument);
+  EXPECT_THROW(snap.set_bw(0, -1.0), std::invalid_argument);
+  snap.set_bw(0, 5e6);
+  EXPECT_DOUBLE_EQ(snap.bw(0), 5e6);
+  EXPECT_DOUBLE_EQ(snap.bw_reference(0, 10e6), 0.5);
+  EXPECT_THROW(snap.cpu_reference(m1, 0.0), std::invalid_argument);
+}
+
+TEST_F(RemosFixture, MonitorConfigValidation) {
+  EXPECT_THROW(Monitor(net, MonitorConfig{0.0, 30.0}), std::invalid_argument);
+  EXPECT_THROW(Monitor(net, MonitorConfig{5.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsel::remos

@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace netsel::util {
+namespace {
+
+TEST(SplitMix64, ProducesKnownGoodDispersion) {
+  SplitMix64 sm(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 1000u) << "collisions in 1000 draws";
+}
+
+TEST(HashName, DistinctNamesDistinctHashes) {
+  EXPECT_NE(hash_name("loadgen/m-1"), hash_name("loadgen/m-2"));
+  EXPECT_NE(hash_name("a"), hash_name("b"));
+  EXPECT_EQ(hash_name("same"), hash_name("same"));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NamedStreamsAreIndependent) {
+  Rng a(7, "load"), b(7, "traffic");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NamedStreamIsDeterministic) {
+  Rng a(7, "load"), b(7, "load");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkDerivesReproducibleChild) {
+  Rng parent1(99), parent2(99);
+  Rng c1 = parent1.fork("child");
+  Rng c2 = parent2.fork("child");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, ForkIndependentOfParentDrawPosition) {
+  // fork() derives from the seed, not the current engine state, so children
+  // are identical regardless of how much the parent has been used.
+  Rng p1(5), p2(5);
+  (void)p2();
+  (void)p2();
+  Rng c1 = p1.fork("x"), c2 = p2.fork("x");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(2);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "all of {2,3,4,5} should appear in 1000 draws";
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential_mean(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace netsel::util

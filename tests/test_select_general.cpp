@@ -1,0 +1,221 @@
+// Tests for the §3.3 generalisations: heterogeneous links and nodes
+// (reference normalisation), bidirectional links, cyclic topologies, and
+// the brute-force reference optimiser itself.
+
+#include <gtest/gtest.h>
+
+#include "select/algorithms.hpp"
+#include "select/brute_force.hpp"
+#include "select/objective.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::select {
+namespace {
+
+TEST(Heterogeneous, ReferenceLinkNormalisation) {
+  // Paper: "if the network contains 100Mbps and 155Mbps links, the
+  // reference link will determine if 50% available bandwidth is 50Mbps or
+  // 77.5Mbps". With a 100 Mbps reference, a half-free ATM link scores
+  // 77.5/100 = 0.775 rather than 0.5.
+  auto g = topo::testbed();
+  remos::NetworkSnapshot snap(g);
+  topo::LinkId atm = 1;  // gibraltar--suez by construction
+  ASSERT_DOUBLE_EQ(snap.maxbw(atm), topo::k155Mbps);
+  snap.set_bw(atm, 77.5e6);
+  SelectionOptions per_link;   // homogeneous interpretation
+  SelectionOptions reference;  // 100 Mbps reference link
+  reference.reference_bw = 100e6;
+  EXPECT_DOUBLE_EQ(link_fraction(snap, atm, per_link), 0.5);
+  EXPECT_DOUBLE_EQ(link_fraction(snap, atm, reference), 0.775);
+}
+
+TEST(Heterogeneous, ReferenceLinkChangesBalancedDecision) {
+  // One pair behind a half-used 155 Mbps link vs one pair with cpu 0.6 on
+  // clean links: per-link fractions say 0.5 < 0.6, a 100 Mbps reference
+  // says 0.775 > 0.6.
+  topo::TopologyGraph g;
+  auto sw1 = g.add_network("sw1");
+  auto sw2 = g.add_network("sw2");
+  auto a1 = g.add_compute("a1");
+  auto a2 = g.add_compute("a2");
+  auto b1 = g.add_compute("b1");
+  auto b2 = g.add_compute("b2");
+  g.add_link(sw1, sw2, 10e6);  // keep the graph connected but undesirable
+  auto atm1 = g.add_link(sw1, a1, 155e6);
+  auto atm2 = g.add_link(sw1, a2, 155e6);
+  g.add_link(sw2, b1, 100e6);
+  g.add_link(sw2, b2, 100e6);
+  remos::NetworkSnapshot snap(g);
+  snap.set_bw(atm1, 77.5e6);
+  snap.set_bw(atm2, 77.0e6);  // distinct: the Fig.-3 loop needs strict gains
+  snap.set_cpu(b1, 0.6);
+  snap.set_cpu(b2, 0.6);
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  auto per_link = select_balanced(snap, opt);
+  ASSERT_TRUE(per_link.feasible);
+  EXPECT_EQ(per_link.nodes, (std::vector<topo::NodeId>{b1, b2}));
+  opt.reference_bw = 100e6;
+  auto ref = select_balanced(snap, opt);
+  ASSERT_TRUE(ref.feasible);
+  EXPECT_EQ(ref.nodes, (std::vector<topo::NodeId>{a1, a2}));
+}
+
+TEST(Heterogeneous, NodeCapacitiesInReferenceUnits) {
+  // A 4x node at 50% availability delivers 2 reference units — better than
+  // an idle 1x node.
+  topo::TopologyGraph g;
+  auto sw = g.add_network("sw");
+  auto big = g.add_compute("big", 4.0);
+  auto small1 = g.add_compute("s1", 1.0);
+  auto small2 = g.add_compute("s2", 1.0);
+  g.add_link(sw, big, 100e6);
+  g.add_link(sw, small1, 100e6);
+  g.add_link(sw, small2, 100e6);
+  remos::NetworkSnapshot snap(g);
+  snap.set_cpu(big, 0.5);
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  auto r = select_max_compute(snap, opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(std::find(r.nodes.begin(), r.nodes.end(), big) != r.nodes.end());
+  EXPECT_DOUBLE_EQ(r.min_cpu, 1.0);  // the idle small node
+}
+
+TEST(Bidirectional, MinOfDirectionsGoverns) {
+  // Paper §3.3: "The available capacity of a bidirectional link is taken to
+  // be the minimum of the available capacities in each direction."
+  topo::TopologyGraph g;
+  auto sw = g.add_network("sw");
+  auto a = g.add_compute("a");
+  auto b = g.add_compute("b");
+  g.add_link(sw, a, 100e6, 10e6);  // asymmetric
+  g.add_link(sw, b, 100e6);
+  EXPECT_DOUBLE_EQ(g.link(0).capacity_min(), 10e6);
+  remos::NetworkSnapshot snap(g);
+  EXPECT_DOUBLE_EQ(snap.bw(0), 10e6);
+  EXPECT_DOUBLE_EQ(snap.bwfactor(0), 1.0);
+}
+
+TEST(CyclicTopology, SelectionUsesStaticRoutes) {
+  // Ring of three switches with one host each; evaluation follows the
+  // fixed shortest path, matching static routing (§3.3).
+  topo::TopologyGraph g;
+  auto s0 = g.add_network("s0");
+  auto s1 = g.add_network("s1");
+  auto s2 = g.add_network("s2");
+  auto h0 = g.add_compute("h0");
+  auto h1 = g.add_compute("h1");
+  auto h2 = g.add_compute("h2");
+  g.add_link(s0, s1, 100e6);
+  g.add_link(s1, s2, 100e6);
+  g.add_link(s2, s0, 100e6);
+  g.add_link(s0, h0, 100e6);
+  g.add_link(s1, h1, 100e6);
+  g.add_link(s2, h2, 100e6);
+  EXPECT_FALSE(g.is_acyclic());
+  remos::NetworkSnapshot snap(g);
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  auto r = select_balanced(snap, opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.nodes.size(), 2u);
+  auto ev = evaluate_set(snap, r.nodes, opt);
+  EXPECT_TRUE(ev.connected);
+  EXPECT_NEAR(ev.min_pair_bw, 100e6, 1.0);
+}
+
+TEST(BruteForce, FindsObviousOptimum) {
+  auto g = topo::star(5);
+  remos::NetworkSnapshot snap(g);
+  snap.set_cpu(1, 0.2);
+  snap.set_cpu(2, 0.9);
+  snap.set_cpu(3, 0.8);
+  snap.set_cpu(4, 0.3);
+  snap.set_cpu(5, 0.7);
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  auto r = brute_force_select(snap, opt, Criterion::MaxCompute);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.nodes, (std::vector<topo::NodeId>{2, 3}));
+  EXPECT_DOUBLE_EQ(r.objective, 0.8);
+  EXPECT_EQ(r.subsets_examined, 10u);  // C(5,2)
+}
+
+TEST(BruteForce, HonoursMinBwConstraint) {
+  auto g = topo::dumbbell(2, 2);
+  remos::NetworkSnapshot snap(g);
+  snap.set_bw(0, 10e6);  // bottleneck
+  // Make the cross pair the cpu-best.
+  snap.set_cpu(g.find_node("L0").value(), 1.0);
+  snap.set_cpu(g.find_node("R0").value(), 1.0);
+  snap.set_cpu(g.find_node("L1").value(), 0.4);
+  snap.set_cpu(g.find_node("R1").value(), 0.5);
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  opt.min_bw_bps = 50e6;
+  auto r = brute_force_select(snap, opt, Criterion::MaxCompute);
+  ASSERT_TRUE(r.feasible);
+  // Cross pairs are excluded by the constraint; best same-side pair is
+  // {R0, R1} with min cpu 0.5.
+  EXPECT_DOUBLE_EQ(r.objective, 0.5);
+}
+
+TEST(BruteForce, GuardsAgainstBlowup) {
+  auto g = topo::star(40);
+  remos::NetworkSnapshot snap(g);
+  SelectionOptions opt;
+  opt.num_nodes = 10;
+  EXPECT_THROW(brute_force_select(snap, opt, Criterion::MaxCompute, 1000),
+               std::invalid_argument);
+}
+
+TEST(BruteForce, InfeasibleWhenPoolSmall) {
+  auto g = topo::star(2);
+  remos::NetworkSnapshot snap(g);
+  SelectionOptions opt;
+  opt.num_nodes = 5;
+  EXPECT_FALSE(brute_force_select(snap, opt, Criterion::MaxCompute).feasible);
+}
+
+TEST(FixedRequirements, BandwidthFloorThenMaximiseCpu) {
+  // §3.3: "satisfy a fixed bandwidth requirement (e.g. a minimum of 50Mbps
+  // between any selected nodes) and maximize processor availability under
+  // that constraint."
+  auto g = topo::dumbbell(3, 3);
+  remos::NetworkSnapshot snap(g);
+  snap.set_bw(0, 30e6);
+  snap.set_loadavg(g.find_node("R0").value(), 0.2);
+  snap.set_loadavg(g.find_node("L0").value(), 0.1);
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  opt.min_bw_bps = 50e6;
+  auto algo = select_max_compute(snap, opt);
+  auto exact = brute_force_select(snap, opt, Criterion::MaxCompute);
+  ASSERT_TRUE(algo.feasible);
+  EXPECT_DOUBLE_EQ(algo.objective, exact.objective);
+  auto ev = evaluate_set(snap, algo.nodes, opt);
+  EXPECT_GE(ev.min_pair_bw, 50e6);
+}
+
+TEST(FixedRequirements, CpuFloorThenMaximiseBandwidth) {
+  // The dual: require 50% cpu, maximise bandwidth among eligible nodes.
+  auto g = topo::star(6);
+  remos::NetworkSnapshot snap(g);
+  snap.set_loadavg(1, 3.0);  // cpu 0.25: ineligible
+  snap.set_loadavg(2, 3.0);
+  snap.set_bw(2, 20e6);  // h2's link congested
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  opt.min_cpu_fraction = 0.5;
+  auto r = select_max_bandwidth(snap, opt);
+  ASSERT_TRUE(r.feasible);
+  for (auto n : r.nodes) {
+    EXPECT_GE(snap.cpu(n), 0.5);
+    EXPECT_NE(n, 3);  // h2 (id 3) has the congested link
+  }
+  EXPECT_NEAR(r.objective, 100e6, 1.0);
+}
+
+}  // namespace
+}  // namespace netsel::select

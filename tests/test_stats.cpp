@@ -1,0 +1,173 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace netsel::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_halfwidth(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MatchesTwoPassComputation) {
+  Rng rng(11);
+  std::vector<double> xs;
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-5, 17);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(OnlineStats, MergeEqualsCombinedStream) {
+  Rng rng(12);
+  OnlineStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats a_copy = a;
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(TQuantile, KnownValues) {
+  EXPECT_NEAR(t_quantile(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(t_quantile(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(t_quantile(0.99, 5), 4.032, 1e-3);
+  EXPECT_NEAR(t_quantile(0.90, 30), 1.697, 1e-3);
+}
+
+TEST(TQuantile, InterpolatesBetweenRowsMonotonically) {
+  // dof 13 lies between table rows 12 and 15.
+  double t12 = t_quantile(0.95, 12);
+  double t13 = t_quantile(0.95, 13);
+  double t15 = t_quantile(0.95, 15);
+  EXPECT_LT(t15, t13);
+  EXPECT_LT(t13, t12);
+}
+
+TEST(TQuantile, LargeDofApproachesNormal) {
+  EXPECT_NEAR(t_quantile(0.95, 100000), 1.960, 5e-3);
+}
+
+TEST(TQuantile, RejectsZeroDof) {
+  EXPECT_THROW(t_quantile(0.95, 0), std::invalid_argument);
+}
+
+TEST(CiHalfwidth, ShrinksWithSamples) {
+  Rng rng(13);
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(Percentile, KnownValues) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+  EXPECT_NEAR(percentile(xs, 90), 9.1, 1e-12);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+}
+
+TEST(Percentile, Rejections) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(1.99);   // bin 0
+  h.add(2.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // overflow
+  h.add(25.0);   // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_NEAR(h.bin_fraction(0), 2.0 / 7.0, 1e-12);
+}
+
+TEST(HistogramTest, AsciiRenders) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, Rejections) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsel::util

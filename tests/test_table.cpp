@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netsel::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.header({"App", "Time"});
+  t.row({"FFT", "48.0"});
+  t.row({"Airshed", "150.0"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("App"), std::string::npos);
+  EXPECT_NE(out.find("FFT"), std::string::npos);
+  EXPECT_NE(out.find("150.0"), std::string::npos);
+  // Header separator rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsPaddedToWidestCell) {
+  TextTable t;
+  t.header({"A", "B"});
+  t.row({"looooong", "x"});
+  std::string out = t.render();
+  // Every line should have equal length (fixed-width columns).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t;
+  t.header({"A"});
+  t.row({"1"});
+  t.rule();
+  t.row({"2"});
+  std::string out = t.render();
+  // Two rules: one under the header, one inserted.
+  std::size_t first = out.find("|-");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(out.find("|-", first + 1), std::string::npos);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty) {
+  TextTable t;
+  t.header({"A", "B", "C"});
+  t.row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, NoHeaderStillRenders) {
+  TextTable t;
+  t.row({"a", "b"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-2.5, 1), "-2.5");
+}
+
+TEST(FmtPctChange, MatchesPaperStyle) {
+  // 112.6 -> 82.6 is the paper's "(-26.6%)" style cell.
+  EXPECT_EQ(fmt_pct_change(112.6, 82.6), "(-26.6%)");
+  EXPECT_EQ(fmt_pct_change(100.0, 150.0), "(+50.0%)");
+  EXPECT_EQ(fmt_pct_change(0.0, 5.0), "(+0.0%)");
+}
+
+TEST(FmtBytes, Units) {
+  EXPECT_EQ(fmt_bytes(500), "500.0B");
+  EXPECT_EQ(fmt_bytes(1.25e6), "1.25MB");
+  EXPECT_EQ(fmt_bytes(16e9), "16.0GB");
+}
+
+TEST(FmtMbps, Converts) {
+  EXPECT_EQ(fmt_mbps(100e6), "100.0 Mbps");
+  EXPECT_EQ(fmt_mbps(155e6), "155.0 Mbps");
+}
+
+}  // namespace
+}  // namespace netsel::util

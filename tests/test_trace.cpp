@@ -1,0 +1,87 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/generators.hpp"
+
+namespace netsel::sim {
+namespace {
+
+TEST(Trace, SamplesOnSchedule) {
+  NetworkSim net(topo::star(3));
+  TraceRecorder trace(net, TraceConfig{5.0, true, true});
+  trace.start();
+  net.sim().run_until(20.0);
+  EXPECT_EQ(trace.samples(), 5u);  // t = 0, 5, 10, 15, 20
+  EXPECT_DOUBLE_EQ(trace.time_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.time_of(4), 20.0);
+}
+
+TEST(Trace, ColumnsMatchTopology) {
+  NetworkSim net(topo::star(3));
+  TraceRecorder trace(net);
+  auto cols = trace.columns();
+  // time + 3 hosts + 3 links x 2 directions.
+  ASSERT_EQ(cols.size(), 1u + 3u + 6u);
+  EXPECT_EQ(cols[0], "time");
+  EXPECT_EQ(cols[1], "load:h0");
+  EXPECT_NE(cols[4].find("bw:"), std::string::npos);
+}
+
+TEST(Trace, RecordsLoadAndBandwidth) {
+  NetworkSim net(topo::star(2));
+  auto h0 = net.topology().find_node("h0").value();
+  auto h1 = net.topology().find_node("h1").value();
+  net.host(h0).submit(1e9, kBackgroundOwner);
+  net.network().start_flow(h0, h1, 1e12, kBackgroundOwner);
+  TraceRecorder trace(net, TraceConfig{10.0, true, true});
+  trace.start();
+  net.sim().run_until(300.0);
+  std::size_t last = trace.samples() - 1;
+  EXPECT_NEAR(trace.value(last, 0), 1.0, 1e-2);   // h0 load -> 1
+  EXPECT_NEAR(trace.value(last, 1), 0.0, 1e-9);   // h1 idle
+  // Link columns: first link h0--sw? star adds (sw, h0) then (sw, h1).
+  // h0 -> h1 uses link0 backward (h0->sw) and link1 forward (sw->h1).
+  EXPECT_NEAR(trace.value(last, 2 + 1), 100e6, 1e3);  // link0 rev
+  EXPECT_NEAR(trace.value(last, 2 + 2), 100e6, 1e3);  // link1 fwd
+}
+
+TEST(Trace, CsvShape) {
+  NetworkSim net(topo::star(2));
+  TraceRecorder trace(net, TraceConfig{1.0, true, false});
+  trace.start();
+  net.sim().run_until(3.0);
+  std::string csv = trace.to_csv();
+  // 1 header + 4 samples.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_EQ(csv.substr(0, 5), "time,");
+}
+
+TEST(Trace, StopHaltsSampling) {
+  NetworkSim net(topo::star(2));
+  TraceRecorder trace(net);
+  trace.start();
+  net.sim().run_until(12.0);
+  trace.stop();
+  auto count = trace.samples();
+  net.sim().run_until(60.0);
+  EXPECT_EQ(trace.samples(), count);
+}
+
+TEST(Trace, Rejections) {
+  NetworkSim net(topo::star(2));
+  EXPECT_THROW(TraceRecorder(net, TraceConfig{0.0, true, true}),
+               std::invalid_argument);
+  EXPECT_THROW(TraceRecorder(net, TraceConfig{1.0, false, false}),
+               std::invalid_argument);
+  TraceRecorder trace(net);
+  trace.start();
+  net.sim().run_until(1.0);
+  EXPECT_THROW(trace.value(99, 0), std::out_of_range);
+  EXPECT_THROW(trace.value(0, 999), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace netsel::sim

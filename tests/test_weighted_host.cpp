@@ -1,0 +1,141 @@
+// Tests for weighted (generalised) processor sharing — relaxing the
+// paper's equal-priority assumption (§3.1) — and for what it does to the
+// cpu = 1/(1+loadavg) function that selection relies on.
+
+#include <gtest/gtest.h>
+
+#include "remos/remos.hpp"
+#include "sim/host.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::sim {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Simulator sim;
+  HostConfig cfg{1.0, 60.0};
+};
+
+TEST_F(Fixture, EqualWeightsReproducePlainPS) {
+  Host h(sim, cfg);
+  double a = -1, b = -1;
+  h.submit_weighted(4.0, 1.0, 0.0, kBackgroundOwner,
+                    [&](JobId) { a = sim.now(); });
+  h.submit_weighted(8.0, 1.0, 0.0, kBackgroundOwner,
+                    [&](JobId) { b = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(a, 8.0);
+  EXPECT_DOUBLE_EQ(b, 12.0);
+}
+
+TEST_F(Fixture, WeightsSplitTheProcessorProportionally) {
+  // Weights 3:1 — the heavy job runs at 0.75, the light one at 0.25.
+  Host h(sim, cfg);
+  double heavy = -1, light = -1;
+  JobId hj = h.submit_weighted(7.5, 3.0, 0.0, kBackgroundOwner,
+                               [&](JobId) { heavy = sim.now(); });
+  JobId lj = h.submit_weighted(5.0, 1.0, 0.0, kBackgroundOwner,
+                               [&](JobId) { light = sim.now(); });
+  EXPECT_DOUBLE_EQ(h.job_rate(hj), 0.75);
+  EXPECT_DOUBLE_EQ(h.job_rate(lj), 0.25);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  sim.run();
+  // Heavy: 7.5/0.75 = 10 s. Light: 2.5 done by t=10, then full speed:
+  // 10 + 2.5 = 12.5 s.
+  EXPECT_DOUBLE_EQ(heavy, 10.0);
+  EXPECT_DOUBLE_EQ(light, 12.5);
+}
+
+TEST_F(Fixture, NicedBackgroundJobBarelySlowsTheApp) {
+  // A weight-0.1 background job competes with a weight-1 app job: the app
+  // keeps 1/1.1 of the CPU.
+  Host h(sim, cfg);
+  h.submit_weighted(1e9, 0.1, 0.0, kBackgroundOwner);
+  double done = -1;
+  h.submit_weighted(10.0, 1.0, 0.0, 5, [&](JobId) { done = sim.now(); });
+  sim.run_until(12.0);
+  EXPECT_NEAR(done, 11.0, 1e-9);
+}
+
+TEST_F(Fixture, LoadAverageCountsJobsNotWeights) {
+  // UNIX load average counts runnable processes regardless of nice level —
+  // so a niced competitor still raises loadavg to ~1 and the paper's
+  // cpu = 1/(1+load) = 0.5 is pessimistic vs the true share 0.91.
+  Host h(sim, cfg);
+  h.submit_weighted(1e9, 0.1, 0.0, kBackgroundOwner);
+  sim.run_until(600.0);
+  EXPECT_NEAR(h.load_average(), 1.0, 1e-3);
+  double paper_cpu = 1.0 / (1.0 + h.load_average());
+  double true_share = 1.0 / (1.0 + 0.1);
+  EXPECT_NEAR(paper_cpu, 0.5, 1e-3);
+  EXPECT_GT(true_share, paper_cpu);
+}
+
+TEST_F(Fixture, WeightValidation) {
+  Host h(sim, cfg);
+  EXPECT_THROW(h.submit_weighted(1.0, 0.0, 0.0, kBackgroundOwner),
+               std::invalid_argument);
+  EXPECT_THROW(h.submit_weighted(1.0, -2.0, 0.0, kBackgroundOwner),
+               std::invalid_argument);
+  EXPECT_THROW(h.job_rate(999), std::invalid_argument);
+}
+
+TEST_F(Fixture, KillReleasesWeight) {
+  Host h(sim, cfg);
+  JobId a = h.submit_weighted(100.0, 3.0, 0.0, kBackgroundOwner);
+  JobId b = h.submit_weighted(100.0, 1.0, 0.0, kBackgroundOwner);
+  EXPECT_DOUBLE_EQ(h.job_rate(b), 0.25);
+  h.kill(a);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(h.job_rate(b), 1.0);
+}
+
+TEST_F(Fixture, MixedWeightsConserveWork) {
+  // Total service is capacity * time regardless of weights.
+  Host h(sim, cfg);
+  util::Rng rng(5);
+  double total = 0.0;
+  int remaining = 12;
+  for (int i = 0; i < 12; ++i) {
+    double w = rng.uniform(0.1, 4.0);
+    double demand = rng.uniform(0.5, 6.0);
+    total += demand;
+    h.submit_weighted(demand, w, 0.0, kBackgroundOwner,
+                      [&](JobId) { --remaining; });
+  }
+  sim.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_NEAR(sim.now(), total, 1e-6);
+}
+
+TEST(WeightedEndToEnd, PaperCpuFunctionPessimisticUnderNicedLoad) {
+  // Two identical hosts carry one competitor each: a full-weight one on
+  // m-1, a heavily niced one on m-2. Remos (loadavg-based) sees the same
+  // availability on both; the actual app runtime differs almost 2x.
+  NetworkSim net(topo::testbed());
+  auto m1 = net.topology().find_node("m-1").value();
+  auto m2 = net.topology().find_node("m-2").value();
+  net.host(m1).submit_weighted(1e9, 1.0, 0.0, kBackgroundOwner);
+  net.host(m2).submit_weighted(1e9, 0.05, 0.0, kBackgroundOwner);
+  remos::Remos remos(net);
+  net.sim().run_until(600.0);
+  remos.start();
+  auto snap = remos.snapshot();
+  EXPECT_NEAR(snap.cpu(m1), snap.cpu(m2), 1e-3)
+      << "loadavg cannot distinguish niced competitors";
+  // Run the same job on each node.
+  double t1 = -1, t2 = -1;
+  net.host(m1).submit(30.0, net.new_owner(),
+                      [&](JobId) { t1 = net.sim().now(); });
+  net.host(m2).submit(30.0, net.new_owner(),
+                      [&](JobId) { t2 = net.sim().now(); });
+  double start = net.sim().now();
+  net.sim().run_until(start + 200.0);
+  ASSERT_GT(t1, 0.0);
+  ASSERT_GT(t2, 0.0);
+  EXPECT_NEAR(t1 - start, 60.0, 1e-6);          // equal sharing: 2x
+  EXPECT_NEAR(t2 - start, 30.0 * 1.05, 1e-6);   // niced competitor: ~1.05x
+}
+
+}  // namespace
+}  // namespace netsel::sim
