@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_avoidance"
+  "../bench/bench_fig4_avoidance.pdb"
+  "CMakeFiles/bench_fig4_avoidance.dir/bench_fig4_avoidance.cpp.o"
+  "CMakeFiles/bench_fig4_avoidance.dir/bench_fig4_avoidance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_timeseries"
+  "../bench/bench_timeseries.pdb"
+  "CMakeFiles/bench_timeseries.dir/bench_timeseries.cpp.o"
+  "CMakeFiles/bench_timeseries.dir/bench_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

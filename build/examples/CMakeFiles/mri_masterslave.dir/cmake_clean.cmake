@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_masterslave.dir/mri_masterslave.cpp.o"
+  "CMakeFiles/mri_masterslave.dir/mri_masterslave.cpp.o.d"
+  "mri_masterslave"
+  "mri_masterslave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_masterslave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_cli.dir/netsel_cli.cpp.o"
+  "CMakeFiles/netsel_cli.dir/netsel_cli.cpp.o.d"
+  "netsel_cli"
+  "netsel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_count_advisor.dir/node_count_advisor.cpp.o"
+  "CMakeFiles/node_count_advisor.dir/node_count_advisor.cpp.o.d"
+  "node_count_advisor"
+  "node_count_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_count_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

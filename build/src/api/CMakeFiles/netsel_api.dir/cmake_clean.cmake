@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_api.dir/advisor.cpp.o"
+  "CMakeFiles/netsel_api.dir/advisor.cpp.o.d"
+  "CMakeFiles/netsel_api.dir/appspec.cpp.o"
+  "CMakeFiles/netsel_api.dir/appspec.cpp.o.d"
+  "CMakeFiles/netsel_api.dir/migration.cpp.o"
+  "CMakeFiles/netsel_api.dir/migration.cpp.o.d"
+  "CMakeFiles/netsel_api.dir/service.cpp.o"
+  "CMakeFiles/netsel_api.dir/service.cpp.o.d"
+  "libnetsel_api.a"
+  "libnetsel_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appsim/app.cpp" "src/appsim/CMakeFiles/netsel_appsim.dir/app.cpp.o" "gcc" "src/appsim/CMakeFiles/netsel_appsim.dir/app.cpp.o.d"
+  "/root/repo/src/appsim/loosely_synchronous.cpp" "src/appsim/CMakeFiles/netsel_appsim.dir/loosely_synchronous.cpp.o" "gcc" "src/appsim/CMakeFiles/netsel_appsim.dir/loosely_synchronous.cpp.o.d"
+  "/root/repo/src/appsim/master_slave.cpp" "src/appsim/CMakeFiles/netsel_appsim.dir/master_slave.cpp.o" "gcc" "src/appsim/CMakeFiles/netsel_appsim.dir/master_slave.cpp.o.d"
+  "/root/repo/src/appsim/pipeline.cpp" "src/appsim/CMakeFiles/netsel_appsim.dir/pipeline.cpp.o" "gcc" "src/appsim/CMakeFiles/netsel_appsim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/appsim/presets.cpp" "src/appsim/CMakeFiles/netsel_appsim.dir/presets.cpp.o" "gcc" "src/appsim/CMakeFiles/netsel_appsim.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netsel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netsel_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_appsim.dir/app.cpp.o"
+  "CMakeFiles/netsel_appsim.dir/app.cpp.o.d"
+  "CMakeFiles/netsel_appsim.dir/loosely_synchronous.cpp.o"
+  "CMakeFiles/netsel_appsim.dir/loosely_synchronous.cpp.o.d"
+  "CMakeFiles/netsel_appsim.dir/master_slave.cpp.o"
+  "CMakeFiles/netsel_appsim.dir/master_slave.cpp.o.d"
+  "CMakeFiles/netsel_appsim.dir/pipeline.cpp.o"
+  "CMakeFiles/netsel_appsim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/netsel_appsim.dir/presets.cpp.o"
+  "CMakeFiles/netsel_appsim.dir/presets.cpp.o.d"
+  "libnetsel_appsim.a"
+  "libnetsel_appsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_appsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for netsel_appsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/experiment.cpp" "src/exp/CMakeFiles/netsel_exp.dir/experiment.cpp.o" "gcc" "src/exp/CMakeFiles/netsel_exp.dir/experiment.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/netsel_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/netsel_exp.dir/report.cpp.o.d"
+  "/root/repo/src/exp/table1.cpp" "src/exp/CMakeFiles/netsel_exp.dir/table1.cpp.o" "gcc" "src/exp/CMakeFiles/netsel_exp.dir/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netsel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/netsel_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/remos/CMakeFiles/netsel_remos.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/netsel_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/appsim/CMakeFiles/netsel_appsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_exp.dir/experiment.cpp.o"
+  "CMakeFiles/netsel_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/netsel_exp.dir/report.cpp.o"
+  "CMakeFiles/netsel_exp.dir/report.cpp.o.d"
+  "CMakeFiles/netsel_exp.dir/table1.cpp.o"
+  "CMakeFiles/netsel_exp.dir/table1.cpp.o.d"
+  "libnetsel_exp.a"
+  "libnetsel_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/load/load_generator.cpp" "src/load/CMakeFiles/netsel_load.dir/load_generator.cpp.o" "gcc" "src/load/CMakeFiles/netsel_load.dir/load_generator.cpp.o.d"
+  "/root/repo/src/load/traffic_generator.cpp" "src/load/CMakeFiles/netsel_load.dir/traffic_generator.cpp.o" "gcc" "src/load/CMakeFiles/netsel_load.dir/traffic_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netsel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netsel_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_load.dir/load_generator.cpp.o"
+  "CMakeFiles/netsel_load.dir/load_generator.cpp.o.d"
+  "CMakeFiles/netsel_load.dir/traffic_generator.cpp.o"
+  "CMakeFiles/netsel_load.dir/traffic_generator.cpp.o.d"
+  "libnetsel_load.a"
+  "libnetsel_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

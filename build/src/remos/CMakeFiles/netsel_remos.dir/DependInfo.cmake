@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remos/history.cpp" "src/remos/CMakeFiles/netsel_remos.dir/history.cpp.o" "gcc" "src/remos/CMakeFiles/netsel_remos.dir/history.cpp.o.d"
+  "/root/repo/src/remos/monitor.cpp" "src/remos/CMakeFiles/netsel_remos.dir/monitor.cpp.o" "gcc" "src/remos/CMakeFiles/netsel_remos.dir/monitor.cpp.o.d"
+  "/root/repo/src/remos/remos.cpp" "src/remos/CMakeFiles/netsel_remos.dir/remos.cpp.o" "gcc" "src/remos/CMakeFiles/netsel_remos.dir/remos.cpp.o.d"
+  "/root/repo/src/remos/snapshot.cpp" "src/remos/CMakeFiles/netsel_remos.dir/snapshot.cpp.o" "gcc" "src/remos/CMakeFiles/netsel_remos.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netsel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netsel_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

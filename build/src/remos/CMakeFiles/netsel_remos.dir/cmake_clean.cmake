@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_remos.dir/history.cpp.o"
+  "CMakeFiles/netsel_remos.dir/history.cpp.o.d"
+  "CMakeFiles/netsel_remos.dir/monitor.cpp.o"
+  "CMakeFiles/netsel_remos.dir/monitor.cpp.o.d"
+  "CMakeFiles/netsel_remos.dir/remos.cpp.o"
+  "CMakeFiles/netsel_remos.dir/remos.cpp.o.d"
+  "CMakeFiles/netsel_remos.dir/snapshot.cpp.o"
+  "CMakeFiles/netsel_remos.dir/snapshot.cpp.o.d"
+  "libnetsel_remos.a"
+  "libnetsel_remos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_remos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetsel_remos.a"
+)

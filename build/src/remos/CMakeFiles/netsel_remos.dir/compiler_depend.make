@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for netsel_remos.
+# This may be replaced when dependencies are built.

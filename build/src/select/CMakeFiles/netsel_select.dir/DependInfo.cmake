@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/select/balanced.cpp" "src/select/CMakeFiles/netsel_select.dir/balanced.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/balanced.cpp.o.d"
+  "/root/repo/src/select/baselines.cpp" "src/select/CMakeFiles/netsel_select.dir/baselines.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/baselines.cpp.o.d"
+  "/root/repo/src/select/brute_force.cpp" "src/select/CMakeFiles/netsel_select.dir/brute_force.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/brute_force.cpp.o.d"
+  "/root/repo/src/select/latency.cpp" "src/select/CMakeFiles/netsel_select.dir/latency.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/latency.cpp.o.d"
+  "/root/repo/src/select/max_bandwidth.cpp" "src/select/CMakeFiles/netsel_select.dir/max_bandwidth.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/max_bandwidth.cpp.o.d"
+  "/root/repo/src/select/max_compute.cpp" "src/select/CMakeFiles/netsel_select.dir/max_compute.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/max_compute.cpp.o.d"
+  "/root/repo/src/select/objective.cpp" "src/select/CMakeFiles/netsel_select.dir/objective.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/objective.cpp.o.d"
+  "/root/repo/src/select/options.cpp" "src/select/CMakeFiles/netsel_select.dir/options.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/options.cpp.o.d"
+  "/root/repo/src/select/patterns.cpp" "src/select/CMakeFiles/netsel_select.dir/patterns.cpp.o" "gcc" "src/select/CMakeFiles/netsel_select.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netsel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/remos/CMakeFiles/netsel_remos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netsel_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_select.dir/balanced.cpp.o"
+  "CMakeFiles/netsel_select.dir/balanced.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/baselines.cpp.o"
+  "CMakeFiles/netsel_select.dir/baselines.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/brute_force.cpp.o"
+  "CMakeFiles/netsel_select.dir/brute_force.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/latency.cpp.o"
+  "CMakeFiles/netsel_select.dir/latency.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/max_bandwidth.cpp.o"
+  "CMakeFiles/netsel_select.dir/max_bandwidth.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/max_compute.cpp.o"
+  "CMakeFiles/netsel_select.dir/max_compute.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/objective.cpp.o"
+  "CMakeFiles/netsel_select.dir/objective.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/options.cpp.o"
+  "CMakeFiles/netsel_select.dir/options.cpp.o.d"
+  "CMakeFiles/netsel_select.dir/patterns.cpp.o"
+  "CMakeFiles/netsel_select.dir/patterns.cpp.o.d"
+  "libnetsel_select.a"
+  "libnetsel_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

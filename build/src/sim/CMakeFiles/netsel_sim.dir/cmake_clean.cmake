@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_sim.dir/engine.cpp.o"
+  "CMakeFiles/netsel_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/netsel_sim.dir/host.cpp.o"
+  "CMakeFiles/netsel_sim.dir/host.cpp.o.d"
+  "CMakeFiles/netsel_sim.dir/network.cpp.o"
+  "CMakeFiles/netsel_sim.dir/network.cpp.o.d"
+  "CMakeFiles/netsel_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/netsel_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/netsel_sim.dir/trace.cpp.o"
+  "CMakeFiles/netsel_sim.dir/trace.cpp.o.d"
+  "libnetsel_sim.a"
+  "libnetsel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

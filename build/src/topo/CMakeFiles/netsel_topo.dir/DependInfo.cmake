@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/connectivity.cpp" "src/topo/CMakeFiles/netsel_topo.dir/connectivity.cpp.o" "gcc" "src/topo/CMakeFiles/netsel_topo.dir/connectivity.cpp.o.d"
+  "/root/repo/src/topo/dot.cpp" "src/topo/CMakeFiles/netsel_topo.dir/dot.cpp.o" "gcc" "src/topo/CMakeFiles/netsel_topo.dir/dot.cpp.o.d"
+  "/root/repo/src/topo/generators.cpp" "src/topo/CMakeFiles/netsel_topo.dir/generators.cpp.o" "gcc" "src/topo/CMakeFiles/netsel_topo.dir/generators.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/topo/CMakeFiles/netsel_topo.dir/graph.cpp.o" "gcc" "src/topo/CMakeFiles/netsel_topo.dir/graph.cpp.o.d"
+  "/root/repo/src/topo/parse.cpp" "src/topo/CMakeFiles/netsel_topo.dir/parse.cpp.o" "gcc" "src/topo/CMakeFiles/netsel_topo.dir/parse.cpp.o.d"
+  "/root/repo/src/topo/routing.cpp" "src/topo/CMakeFiles/netsel_topo.dir/routing.cpp.o" "gcc" "src/topo/CMakeFiles/netsel_topo.dir/routing.cpp.o.d"
+  "/root/repo/src/topo/subgraph.cpp" "src/topo/CMakeFiles/netsel_topo.dir/subgraph.cpp.o" "gcc" "src/topo/CMakeFiles/netsel_topo.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netsel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

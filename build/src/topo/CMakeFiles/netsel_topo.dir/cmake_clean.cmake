@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_topo.dir/connectivity.cpp.o"
+  "CMakeFiles/netsel_topo.dir/connectivity.cpp.o.d"
+  "CMakeFiles/netsel_topo.dir/dot.cpp.o"
+  "CMakeFiles/netsel_topo.dir/dot.cpp.o.d"
+  "CMakeFiles/netsel_topo.dir/generators.cpp.o"
+  "CMakeFiles/netsel_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/netsel_topo.dir/graph.cpp.o"
+  "CMakeFiles/netsel_topo.dir/graph.cpp.o.d"
+  "CMakeFiles/netsel_topo.dir/parse.cpp.o"
+  "CMakeFiles/netsel_topo.dir/parse.cpp.o.d"
+  "CMakeFiles/netsel_topo.dir/routing.cpp.o"
+  "CMakeFiles/netsel_topo.dir/routing.cpp.o.d"
+  "CMakeFiles/netsel_topo.dir/subgraph.cpp.o"
+  "CMakeFiles/netsel_topo.dir/subgraph.cpp.o.d"
+  "libnetsel_topo.a"
+  "libnetsel_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

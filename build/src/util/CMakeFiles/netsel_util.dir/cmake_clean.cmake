@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsel_util.dir/distributions.cpp.o"
+  "CMakeFiles/netsel_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/netsel_util.dir/log.cpp.o"
+  "CMakeFiles/netsel_util.dir/log.cpp.o.d"
+  "CMakeFiles/netsel_util.dir/rng.cpp.o"
+  "CMakeFiles/netsel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/netsel_util.dir/stats.cpp.o"
+  "CMakeFiles/netsel_util.dir/stats.cpp.o.d"
+  "CMakeFiles/netsel_util.dir/table.cpp.o"
+  "CMakeFiles/netsel_util.dir/table.cpp.o.d"
+  "libnetsel_util.a"
+  "libnetsel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

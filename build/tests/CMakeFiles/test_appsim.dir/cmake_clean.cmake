@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appsim.dir/test_appsim.cpp.o"
+  "CMakeFiles/test_appsim.dir/test_appsim.cpp.o.d"
+  "test_appsim"
+  "test_appsim.pdb"
+  "test_appsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appsim_contention.dir/test_appsim_contention.cpp.o"
+  "CMakeFiles/test_appsim_contention.dir/test_appsim_contention.cpp.o.d"
+  "test_appsim_contention"
+  "test_appsim_contention.pdb"
+  "test_appsim_contention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appsim_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecasters.dir/test_forecasters.cpp.o"
+  "CMakeFiles/test_forecasters.dir/test_forecasters.cpp.o.d"
+  "test_forecasters"
+  "test_forecasters.pdb"
+  "test_forecasters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecasters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

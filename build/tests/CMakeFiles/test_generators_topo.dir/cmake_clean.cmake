@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generators_topo.dir/test_generators_topo.cpp.o"
+  "CMakeFiles/test_generators_topo.dir/test_generators_topo.cpp.o.d"
+  "test_generators_topo"
+  "test_generators_topo.pdb"
+  "test_generators_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generators_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_owner_attribution.dir/test_owner_attribution.cpp.o"
+  "CMakeFiles/test_owner_attribution.dir/test_owner_attribution.cpp.o.d"
+  "test_owner_attribution"
+  "test_owner_attribution.pdb"
+  "test_owner_attribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_owner_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_owner_attribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remos.dir/test_remos.cpp.o"
+  "CMakeFiles/test_remos.dir/test_remos.cpp.o.d"
+  "test_remos"
+  "test_remos.pdb"
+  "test_remos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

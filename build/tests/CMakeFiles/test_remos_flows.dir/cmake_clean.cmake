@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remos_flows.dir/test_remos_flows.cpp.o"
+  "CMakeFiles/test_remos_flows.dir/test_remos_flows.cpp.o.d"
+  "test_remos_flows"
+  "test_remos_flows.pdb"
+  "test_remos_flows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remos_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

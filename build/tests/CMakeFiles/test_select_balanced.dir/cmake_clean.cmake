@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_select_balanced.dir/test_select_balanced.cpp.o"
+  "CMakeFiles/test_select_balanced.dir/test_select_balanced.cpp.o.d"
+  "test_select_balanced"
+  "test_select_balanced.pdb"
+  "test_select_balanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_select_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

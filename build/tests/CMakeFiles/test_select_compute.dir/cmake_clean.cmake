@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_select_compute.dir/test_select_compute.cpp.o"
+  "CMakeFiles/test_select_compute.dir/test_select_compute.cpp.o.d"
+  "test_select_compute"
+  "test_select_compute.pdb"
+  "test_select_compute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_select_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_select_general.dir/test_select_general.cpp.o"
+  "CMakeFiles/test_select_general.dir/test_select_general.cpp.o.d"
+  "test_select_general"
+  "test_select_general.pdb"
+  "test_select_general[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_select_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

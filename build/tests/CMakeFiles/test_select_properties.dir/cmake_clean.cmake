@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_select_properties.dir/test_select_properties.cpp.o"
+  "CMakeFiles/test_select_properties.dir/test_select_properties.cpp.o.d"
+  "test_select_properties"
+  "test_select_properties.pdb"
+  "test_select_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_select_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_host.dir/test_weighted_host.cpp.o"
+  "CMakeFiles/test_weighted_host.dir/test_weighted_host.cpp.o.d"
+  "test_weighted_host"
+  "test_weighted_host.pdb"
+  "test_weighted_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
