@@ -4,6 +4,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "select/context.hpp"
 #include "select/objective.hpp"
 
 namespace netsel::api {
@@ -82,12 +83,12 @@ double comm_phase_seconds(appsim::CommPattern pattern, double bytes,
 }  // namespace
 
 double predict_loosely_synchronous(const appsim::LooselySyncConfig& cfg,
-                                   const remos::NetworkSnapshot& snap,
+                                   const select::SelectionContext& ctx,
                                    const std::vector<topo::NodeId>& nodes,
                                    const select::SelectionOptions& opt) {
   if (static_cast<int>(nodes.size()) != cfg.num_nodes)
     throw std::invalid_argument("predict: node count mismatch");
-  auto ev = select::evaluate_set(snap, nodes, opt);
+  auto ev = select::evaluate_set(ctx, nodes, opt);
   if (!ev.connected) return std::numeric_limits<double>::infinity();
   double per_iteration = 0.0;
   for (const auto& phase : cfg.phases) {
@@ -95,16 +96,25 @@ double predict_loosely_synchronous(const appsim::LooselySyncConfig& cfg,
       if (ev.min_cpu <= 0.0) return std::numeric_limits<double>::infinity();
       per_iteration += phase.work_per_node / ev.min_cpu;
     }
-    per_iteration +=
-        comm_phase_seconds(phase.pattern, phase.bytes_per_message, snap, nodes);
+    per_iteration += comm_phase_seconds(phase.pattern, phase.bytes_per_message,
+                                        ctx.snapshot(), nodes);
   }
   return per_iteration * cfg.iterations;
 }
 
+double predict_loosely_synchronous(const appsim::LooselySyncConfig& cfg,
+                                   const remos::NetworkSnapshot& snap,
+                                   const std::vector<topo::NodeId>& nodes,
+                                   const select::SelectionOptions& opt) {
+  select::SelectionContext ctx(snap);
+  return predict_loosely_synchronous(cfg, ctx, nodes, opt);
+}
+
 double predict_master_slave(const appsim::MasterSlaveConfig& cfg,
-                            const remos::NetworkSnapshot& snap,
+                            const select::SelectionContext& ctx,
                             const std::vector<topo::NodeId>& nodes,
                             const select::SelectionOptions& opt) {
+  const auto& snap = ctx.snapshot();
   if (static_cast<int>(nodes.size()) != cfg.num_nodes)
     throw std::invalid_argument("predict: node count mismatch");
   const int slaves = cfg.num_nodes - 1;
@@ -118,7 +128,7 @@ double predict_master_slave(const appsim::MasterSlaveConfig& cfg,
     topo::NodeId slave = nodes[static_cast<std::size_t>(s) + 1];
     double cpu = snap.cpu_reference(slave, opt.reference_cpu_capacity);
     if (cpu <= 0.0) continue;
-    auto path = select::evaluate_set(snap, {master, slave}, opt);
+    auto path = select::evaluate_set(ctx, {master, slave}, opt);
     if (!path.connected || path.min_pair_bw <= 0.0)
       return std::numeric_limits<double>::infinity();
     double share = path.min_pair_bw / static_cast<double>(slaves);
@@ -131,6 +141,14 @@ double predict_master_slave(const appsim::MasterSlaveConfig& cfg,
   return static_cast<double>(cfg.num_tasks) / throughput;
 }
 
+double predict_master_slave(const appsim::MasterSlaveConfig& cfg,
+                            const remos::NetworkSnapshot& snap,
+                            const std::vector<topo::NodeId>& nodes,
+                            const select::SelectionOptions& opt) {
+  select::SelectionContext ctx(snap);
+  return predict_master_slave(cfg, ctx, nodes, opt);
+}
+
 namespace {
 
 template <typename Config, typename Predictor>
@@ -139,6 +157,9 @@ NodeCountChoice choose_impl(const std::function<Config(int)>& config_for_m,
                             const NodeCountOptions& opt, Predictor predict) {
   if (opt.min_nodes < 1 || opt.max_nodes < opt.min_nodes)
     throw std::invalid_argument("choose_node_count: bad node range");
+  // One context for the whole m-sweep: every selection and prediction below
+  // runs against the same snapshot.
+  select::SelectionContext ctx(snap);
   NodeCountChoice choice;
   double best = std::numeric_limits<double>::infinity();
   for (int m = opt.min_nodes; m <= opt.max_nodes; ++m) {
@@ -148,12 +169,12 @@ NodeCountChoice choose_impl(const std::function<Config(int)>& config_for_m,
           "choose_node_count: config_for_m(m) must request m nodes");
     select::SelectionOptions sel = opt.selection;
     sel.num_nodes = m;
-    auto selected = select::select_nodes(opt.criterion, snap, sel);
+    auto selected = select::select_nodes(opt.criterion, ctx, sel);
     if (!selected.feasible) {
       choice.predictions.push_back(std::numeric_limits<double>::infinity());
       continue;
     }
-    double predicted = predict(cfg, snap, selected.nodes, sel);
+    double predicted = predict(cfg, ctx, selected.nodes, sel);
     choice.predictions.push_back(predicted);
     if (predicted < best) {
       best = predicted;
@@ -174,10 +195,10 @@ NodeCountChoice choose_node_count(
   return choose_impl<appsim::LooselySyncConfig>(
       config_for_m, snap, opt,
       [](const appsim::LooselySyncConfig& cfg,
-         const remos::NetworkSnapshot& s,
+         const select::SelectionContext& c,
          const std::vector<topo::NodeId>& nodes,
          const select::SelectionOptions& o) {
-        return predict_loosely_synchronous(cfg, s, nodes, o);
+        return predict_loosely_synchronous(cfg, c, nodes, o);
       });
 }
 
@@ -186,10 +207,11 @@ NodeCountChoice choose_node_count(
     const remos::NetworkSnapshot& snap, const NodeCountOptions& opt) {
   return choose_impl<appsim::MasterSlaveConfig>(
       config_for_m, snap, opt,
-      [](const appsim::MasterSlaveConfig& cfg, const remos::NetworkSnapshot& s,
+      [](const appsim::MasterSlaveConfig& cfg,
+         const select::SelectionContext& c,
          const std::vector<topo::NodeId>& nodes,
          const select::SelectionOptions& o) {
-        return predict_master_slave(cfg, s, nodes, o);
+        return predict_master_slave(cfg, c, nodes, o);
       });
 }
 
@@ -242,6 +264,10 @@ ModelPlacement place_with_model(const appsim::LooselySyncConfig& cfg,
   select::SelectionOptions opt = base;
   opt.num_nodes = cfg.num_nodes;
 
+  // Shared across the three selection procedures, every hop-cluster
+  // candidate evaluation, and the model ranking below.
+  select::SelectionContext ctx(snap);
+
   struct Candidate {
     std::string source;
     std::vector<topo::NodeId> nodes;
@@ -250,9 +276,9 @@ ModelPlacement place_with_model(const appsim::LooselySyncConfig& cfg,
   auto add = [&](const char* source, select::SelectionResult r) {
     if (r.feasible) candidates.push_back({source, std::move(r.nodes)});
   };
-  add("balanced", select::select_balanced(snap, opt));
-  add("max-compute", select::select_max_compute(snap, opt));
-  add("max-bandwidth", select::select_max_bandwidth(snap, opt));
+  add("balanced", select::select_balanced(ctx, opt));
+  add("max-compute", select::select_max_compute(ctx, opt));
+  add("max-bandwidth", select::select_max_bandwidth(ctx, opt));
   for (std::size_t c = 0; c < snap.graph().node_count(); ++c) {
     auto center = static_cast<topo::NodeId>(c);
     auto nodes = hop_cluster(snap, opt, center, cfg.num_nodes);
@@ -264,7 +290,7 @@ ModelPlacement place_with_model(const appsim::LooselySyncConfig& cfg,
   ModelPlacement best;
   double best_time = std::numeric_limits<double>::infinity();
   for (auto& cand : candidates) {
-    double t = predict_loosely_synchronous(cfg, snap, cand.nodes, opt);
+    double t = predict_loosely_synchronous(cfg, ctx, cand.nodes, opt);
     if (t < best_time) {
       best_time = t;
       best.feasible = true;

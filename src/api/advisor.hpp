@@ -31,12 +31,23 @@ double predict_loosely_synchronous(const appsim::LooselySyncConfig& cfg,
                                    const remos::NetworkSnapshot& snap,
                                    const std::vector<topo::NodeId>& nodes,
                                    const select::SelectionOptions& opt = {});
+/// Context form: repeated predictions against one snapshot (the advisor's
+/// m-sweep, the model-refined placement) share the context's cached
+/// bottleneck rows instead of re-running a BFS per node pair.
+double predict_loosely_synchronous(const appsim::LooselySyncConfig& cfg,
+                                   const select::SelectionContext& ctx,
+                                   const std::vector<topo::NodeId>& nodes,
+                                   const select::SelectionOptions& opt = {});
 
 /// Predicted completion time of a master-slave farm: tasks are spread over
 /// slaves in proportion to their available cpu; each slave's task cycle is
 /// input transfer + compute + output transfer at its own available rates.
 double predict_master_slave(const appsim::MasterSlaveConfig& cfg,
                             const remos::NetworkSnapshot& snap,
+                            const std::vector<topo::NodeId>& nodes,
+                            const select::SelectionOptions& opt = {});
+double predict_master_slave(const appsim::MasterSlaveConfig& cfg,
+                            const select::SelectionContext& ctx,
                             const std::vector<topo::NodeId>& nodes,
                             const select::SelectionOptions& opt = {});
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "select/context.hpp"
 #include "util/log.hpp"
 
 namespace netsel::api {
@@ -53,8 +54,10 @@ void MigrationController::check() {
   remos::QueryOptions q;
   q.exclude_owner = app_->owner();
   auto snap = remos_->snapshot(q);
+  // Selection and both evaluations below share one context (same snapshot).
+  select::SelectionContext ctx(snap);
 
-  auto best = select::select_nodes(policy_.criterion, snap, base_);
+  auto best = select::select_nodes(policy_.criterion, ctx, base_);
   if (!best.feasible) return;
 
   // Compare both placements by the same yardstick (exact pairwise
@@ -68,8 +71,8 @@ void MigrationController::check() {
     return ev.balanced;
   };
   double current_objective =
-      pick(select::evaluate_set(snap, app_->placement(), base_));
-  double best_objective = pick(select::evaluate_set(snap, best.nodes, base_));
+      pick(select::evaluate_set(ctx, app_->placement(), base_));
+  double best_objective = pick(select::evaluate_set(ctx, best.nodes, base_));
 
   if (best_objective >
       current_objective * (1.0 + policy_.improvement_threshold)) {

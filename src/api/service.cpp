@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "select/context.hpp"
 #include "select/patterns.hpp"
 
 namespace netsel::api {
@@ -99,6 +100,11 @@ Placement NodeSelectionService::place(const AppSpec& spec,
   placement.group_nodes.resize(spec.groups.size());
   std::vector<char> taken(g.node_count(), 0);
 
+  // One context for all groups: they share the snapshot, so the deletion
+  // orders and bottleneck rows are computed once (only the eligibility mask
+  // differs per group, and that is per-call state).
+  select::SelectionContext ctx(snap);
+
   for (std::size_t gi : order) {
     const NodeGroup& group = spec.groups[gi];
     select::SelectionOptions sel;
@@ -109,7 +115,7 @@ Placement NodeSelectionService::place(const AppSpec& spec,
     sel.min_cpu_fraction = spec.min_cpu_fraction;
     sel.min_free_memory_bytes = spec.min_free_memory_bytes;
     sel.eligible = group_mask(g, group, taken);
-    auto result = select::select_nodes(criterion, snap, sel);
+    auto result = select::select_nodes(criterion, ctx, sel);
     if (!result.feasible) {
       placement.feasible = false;
       placement.note = "group '" + group.name + "': " +

@@ -5,6 +5,7 @@
 
 #include "appsim/presets.hpp"
 #include "remos/remos.hpp"
+#include "select/context.hpp"
 #include "topo/generators.hpp"
 
 namespace netsel::exp {
@@ -45,6 +46,7 @@ TrialResult run_trial(const AppCase& app, const Scenario& scenario,
   remos::QueryOptions q;
   if (scenario.forecaster) q.forecaster = scenario.forecaster;
   auto snap = remos.snapshot(q);
+  select::SelectionContext ctx(snap);
   select::SelectionOptions sel = scenario.selection;
   sel.num_nodes = app.num_nodes();
 
@@ -52,20 +54,20 @@ TrialResult run_trial(const AppCase& app, const Scenario& scenario,
   switch (policy) {
     case Policy::Random: {
       util::Rng prng = master.fork("placement");
-      chosen = select::select_random(snap, sel, prng);
+      chosen = select::select_random(ctx, sel, prng);
       break;
     }
     case Policy::Static:
-      chosen = select::select_static(snap, sel);
+      chosen = select::select_static(ctx, sel);
       break;
     case Policy::AutoBalanced:
-      chosen = select::select_balanced(snap, sel);
+      chosen = select::select_balanced(ctx, sel);
       break;
     case Policy::AutoCompute:
-      chosen = select::select_max_compute(snap, sel);
+      chosen = select::select_max_compute(ctx, sel);
       break;
     case Policy::AutoBandwidth:
-      chosen = select::select_max_bandwidth(snap, sel);
+      chosen = select::select_max_bandwidth(ctx, sel);
       break;
   }
   if (!chosen.feasible)

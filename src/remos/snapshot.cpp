@@ -51,6 +51,7 @@ void NetworkSnapshot::set_free_memory(topo::NodeId n, double bytes) {
     throw std::invalid_argument("set_free_memory: not a compute node");
   if (bytes < 0.0) bytes = 0.0;
   free_memory_[static_cast<std::size_t>(n)] = bytes;
+  ++epoch_;
 }
 
 void NetworkSnapshot::set_cpu(topo::NodeId n, double fraction) {
@@ -59,6 +60,7 @@ void NetworkSnapshot::set_cpu(topo::NodeId n, double fraction) {
   if (fraction < 0.0 || fraction > 1.0)
     throw std::invalid_argument("set_cpu: fraction must be in [0,1]");
   cpu_[static_cast<std::size_t>(n)] = fraction;
+  ++epoch_;
 }
 
 void NetworkSnapshot::set_loadavg(topo::NodeId n, double loadavg) {
@@ -72,6 +74,7 @@ void NetworkSnapshot::set_bw(topo::LinkId l, double bits_per_second) {
   bw_[static_cast<std::size_t>(l)] = bits_per_second;
   bw_dir_[static_cast<std::size_t>(l) * 2 + 0] = bits_per_second;
   bw_dir_[static_cast<std::size_t>(l) * 2 + 1] = bits_per_second;
+  ++epoch_;
 }
 
 void NetworkSnapshot::set_bw_dir(topo::LinkId l, bool forward,
@@ -82,6 +85,7 @@ void NetworkSnapshot::set_bw_dir(topo::LinkId l, bool forward,
   bw_[static_cast<std::size_t>(l)] =
       std::min(bw_dir_[static_cast<std::size_t>(l) * 2 + 0],
                bw_dir_[static_cast<std::size_t>(l) * 2 + 1]);
+  ++epoch_;
 }
 
 double NetworkSnapshot::path_bw(const std::vector<topo::LinkId>& links) const {

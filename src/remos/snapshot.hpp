@@ -11,6 +11,7 @@
 // For bidirectional links the available capacity is the minimum of the two
 // directions (§3.3).
 
+#include <cstdint>
 #include <vector>
 
 #include "topo/graph.hpp"
@@ -71,8 +72,16 @@ class NetworkSnapshot {
   /// Bottleneck available bandwidth along a node path given as link ids.
   double path_bw(const std::vector<topo::LinkId>& links) const;
 
+  /// Version counter, bumped on every mutation (set_cpu, set_bw, ...).
+  /// Derived caches (select::SelectionContext) key their validity on this:
+  /// a cache built at epoch e is valid exactly while epoch() == e. Copies
+  /// carry the epoch of the source at copy time and version independently
+  /// afterwards.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
   const topo::TopologyGraph* graph_;
+  std::uint64_t epoch_ = 0;
   std::vector<double> cpu_;          // per node; 0 for network nodes
   std::vector<double> free_memory_;  // per node, bytes
   std::vector<double> bw_;           // per link, min over directions

@@ -1,5 +1,12 @@
 #pragma once
 // The paper's node-selection algorithms (§3.2) and baselines (§4.3).
+//
+// Every algorithm has two entry points: the snapshot form (builds a
+// transient SelectionContext, same complexity as the historical literal
+// implementations) and the context form, which shares the cached deletion
+// orders, bottleneck rows and component decomposition across calls — use it
+// whenever several selections, predictions or evaluations run against the
+// same snapshot (placement groups, advisor sweeps, migration checks).
 
 #include "remos/snapshot.hpp"
 #include "select/options.hpp"
@@ -7,31 +14,49 @@
 
 namespace netsel::select {
 
+class SelectionContext;
+
 /// §3.2 "Maximize computation capacity": the m eligible nodes with the
 /// highest available cpu, subject to the fixed-bandwidth requirement (the
 /// set must live in one component of the graph after unusable links are
 /// dropped, so the nodes can actually communicate).
 SelectionResult select_max_compute(const remos::NetworkSnapshot& snap,
                                    const SelectionOptions& opt);
+SelectionResult select_max_compute(const SelectionContext& ctx,
+                                   const SelectionOptions& opt);
 
 /// Figure 2: maximise the minimum available bandwidth between any pair of
 /// selected nodes by repeatedly deleting the minimum-available-bandwidth
 /// edge while a component with >= m eligible compute nodes survives.
+/// Implemented as an offline reverse replay of the deletion sequence
+/// through incremental connectivity — bit-identical results, near-linear
+/// time (see detail::reference_select_max_bandwidth for the literal loop).
 SelectionResult select_max_bandwidth(const remos::NetworkSnapshot& snap,
+                                     const SelectionOptions& opt);
+SelectionResult select_max_bandwidth(const SelectionContext& ctx,
                                      const SelectionOptions& opt);
 
 /// Figure 3: greedy balanced optimisation — maximise
 /// min(min fractional cpu / cpu_priority, min fractional bw / bw_priority).
+/// On acyclic topologies this runs over the merge forest of the deletion
+/// sequence (one candidate evaluation per component ever created); cyclic
+/// graphs and the Steiner ablation use the literal loop.
 SelectionResult select_balanced(const remos::NetworkSnapshot& snap,
+                                const SelectionOptions& opt);
+SelectionResult select_balanced(const SelectionContext& ctx,
                                 const SelectionOptions& opt);
 
 /// Dispatch by criterion.
 SelectionResult select_nodes(Criterion c, const remos::NetworkSnapshot& snap,
                              const SelectionOptions& opt);
+SelectionResult select_nodes(Criterion c, const SelectionContext& ctx,
+                             const SelectionOptions& opt);
 
 /// Baseline of §4.3: m eligible nodes uniformly at random (must be
 /// connected through usable links, like any valid placement).
 SelectionResult select_random(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt, util::Rng& rng);
+SelectionResult select_random(const SelectionContext& ctx,
                               const SelectionOptions& opt, util::Rng& rng);
 
 /// Static baseline: ignores dynamic availability entirely and picks the
@@ -39,6 +64,8 @@ SelectionResult select_random(const remos::NetworkSnapshot& snap,
 /// homogeneous testbed). The paper notes random and static selection give
 /// virtually identical performance on an all-high-speed-links testbed.
 SelectionResult select_static(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt);
+SelectionResult select_static(const SelectionContext& ctx,
                               const SelectionOptions& opt);
 
 }  // namespace netsel::select

@@ -11,102 +11,253 @@
 // The algorithm starts from the max-compute selection and repeatedly removes
 // the minimum-fractional-bandwidth edge, accepting a new node set whenever
 // that raises minresource, and stops at the first iteration that brings no
-// improvement (or disconnects every large-enough component).
+// improvement (or, with exhaustive_balanced, when no component can host the
+// application).
+//
+// Fast path (acyclic topologies, the paper's setting): the whole deletion
+// history is a laminar family. Replaying the deletion sequence backwards as
+// insertions through a union-find yields a binary merge forest whose nodes
+// are exactly the components that ever exist during the forward sweep; on a
+// forest every component's min-fraction is constant over its lifetime
+// (min of the creating link's fraction and the children's minima), because
+// all its internal links outlive it. The forward sweep then needs to
+// evaluate only the two components born at each deletion: any *unchanged*
+// component was already compared against `best` when it appeared and `best`
+// never decreases, so it can never win later under the strict-improvement
+// rule. That turns O(E) component sweeps each doing O(V+E) work into one
+// near-linear replay plus one candidate evaluation per split — bit-identical
+// to detail::reference_select_balanced (the literal loop, still used for
+// cyclic graphs and the Steiner ablation); see tests/test_select_context.cpp.
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "select/algorithms.hpp"
+#include "select/context.hpp"
 #include "select/detail.hpp"
 #include "select/objective.hpp"
+#include "select/reference.hpp"
 #include "topo/connectivity.hpp"
 
 namespace netsel::select {
 
 namespace {
 
-struct CandidateEval {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A component in the merge forest: either a single node (leaf) or the union
+/// of two children merged by the link whose forward deletion splits it.
+struct ForestNode {
+  int left = -1;
+  int right = -1;
+  topo::NodeId leaf = topo::kInvalidNode;
+  int eligible = 0;
+  topo::NodeId min_id = topo::kInvalidNode;
+  /// Min link fraction among the component's internal links; +inf for
+  /// leaves, matching detail::min_fraction_in_component on lone nodes.
+  double minfrac = kInf;
+  /// The component's m best eligible nodes ordered by (cpu desc, id asc) —
+  /// exactly the prefix detail::top_m_by_cpu's stable sort would produce.
+  /// Built bottom-up: a node in the parent's top-m is necessarily in its
+  /// child's top-m, so merging the children's lists (capped at m) is exact.
+  std::vector<topo::NodeId> top;
+};
+
+struct Candidate {
   std::vector<topo::NodeId> nodes;
   double mincpu = 0.0;
   double minbw = 0.0;
-  double minresource = -std::numeric_limits<double>::infinity();
+  double minresource = -kInf;
 };
 
-/// Evaluate the best candidate inside component `c` per Fig. 3 step 3.
-CandidateEval evaluate_component(const remos::NetworkSnapshot& snap,
-                                 const SelectionOptions& opt,
-                                 const topo::Components& comps, int c,
-                                 const std::vector<char>& mask, int m) {
-  CandidateEval cand;
-  cand.nodes = detail::top_m_by_cpu(
-      snap, opt, detail::eligible_members(snap, opt, comps, c), m);
-  cand.mincpu = detail::min_cpu_of(snap, opt, cand.nodes);
-  if (opt.steiner_restricted) {
-    cand.minbw = std::numeric_limits<double>::infinity();
-    for (topo::LinkId l : steiner_links(snap.graph(), mask, cand.nodes))
-      cand.minbw = std::min(cand.minbw, link_fraction(snap, l, opt));
-  } else {
-    cand.minbw =
-        detail::min_fraction_in_component(snap, opt, comps, c, mask);
-  }
+Candidate evaluate_forest_node(const std::vector<double>& cpu,
+                               const SelectionOptions& opt,
+                               const std::vector<ForestNode>& forest, int f) {
+  const auto& fn = forest[static_cast<std::size_t>(f)];
+  Candidate cand;
+  cand.nodes = fn.top;
+  // top is ordered by (cpu desc, id asc): the minimum cpu is the last
+  // element's, and top_m_by_cpu returns its selection ascending by id.
+  cand.mincpu = cpu[static_cast<std::size_t>(fn.top.back())];
+  std::sort(cand.nodes.begin(), cand.nodes.end());
+  cand.minbw = fn.minfrac;
   cand.minresource =
       std::min(cand.mincpu / opt.cpu_priority, cand.minbw / opt.bw_priority);
   return cand;
 }
 
-}  // namespace
+/// Merge two (cpu desc, id asc)-ordered lists, keeping the first m. The key
+/// is a strict total order (ids are unique), so this is exactly the prefix a
+/// stable sort of the concatenated membership would yield.
+std::vector<topo::NodeId> merge_top(const std::vector<double>& cpu,
+                                    const std::vector<topo::NodeId>& a,
+                                    const std::vector<topo::NodeId>& b,
+                                    std::size_t m) {
+  std::vector<topo::NodeId> out;
+  out.reserve(std::min(m, a.size() + b.size()));
+  std::size_t i = 0, j = 0;
+  auto before = [&](topo::NodeId x, topo::NodeId y) {
+    const double cx = cpu[static_cast<std::size_t>(x)];
+    const double cy = cpu[static_cast<std::size_t>(y)];
+    return cx > cy || (cx == cy && x < y);
+  };
+  while (out.size() < m && (i < a.size() || j < b.size())) {
+    if (j >= b.size() || (i < a.size() && before(a[i], b[j])))
+      out.push_back(a[i++]);
+    else
+      out.push_back(b[j++]);
+  }
+  return out;
+}
 
-SelectionResult select_balanced(const remos::NetworkSnapshot& snap,
-                                const SelectionOptions& opt) {
-  validate_options(snap, opt);
+SelectionResult select_balanced_forest(const SelectionContext& ctx,
+                                       const SelectionOptions& opt) {
+  const auto& snap = ctx.snapshot();
+  const auto& g = ctx.graph();
   const int m = opt.num_nodes;
-  auto mask = initial_link_mask(snap, opt);
+
+  auto elig = ctx.eligibility(opt);
+
+  // The active deletion sequence: links ascending by (fraction, id) — the
+  // order min_fraction_link produces — minus those failing the fixed
+  // min-bandwidth requirement. With a reference capacity the fraction is a
+  // *rounded* multiple of the absolute bandwidth, so sort by the computed
+  // fractions rather than reusing the absolute-bandwidth order (two
+  // bandwidths may round to equal fractions, where the id tie-break kicks
+  // in).
+  std::vector<double> frac(g.link_count());
+  for (std::size_t l = 0; l < frac.size(); ++l)
+    frac[l] = link_fraction(snap, static_cast<topo::LinkId>(l), opt);
+  std::vector<topo::LinkId> seq;
+  seq.reserve(g.link_count());
+  if (opt.reference_bw > 0.0) {
+    seq.resize(g.link_count());
+    for (std::size_t l = 0; l < seq.size(); ++l)
+      seq[l] = static_cast<topo::LinkId>(l);
+    std::stable_sort(seq.begin(), seq.end(),
+                     [&](topo::LinkId a, topo::LinkId b) {
+                       return frac[static_cast<std::size_t>(a)] <
+                              frac[static_cast<std::size_t>(b)];
+                     });
+  } else {
+    seq = ctx.links_by_fraction(opt);
+  }
+  if (opt.min_bw_bps > 0.0) {
+    std::erase_if(seq, [&](topo::LinkId l) {
+      return snap.bw(l) < opt.min_bw_bps;
+    });
+  }
+  const std::size_t steps = seq.size();
+
+  // Per-call cpu keys (they depend on reference_cpu_capacity); only eligible
+  // nodes are ever ranked, the rest stay 0.
+  const std::size_t V = g.node_count();
+  std::vector<double> cpu(V, 0.0);
+  for (std::size_t n = 0; n < V; ++n)
+    if (elig[n]) cpu[n] = node_cpu(snap, static_cast<topo::NodeId>(n), opt);
+
+  // Reverse replay: insert links back-to-front, recording the component born
+  // at each merge. split_at[p] is the forest node that forward step p
+  // (deleting seq[p-1]) splits into its two children.
+  std::vector<ForestNode> forest;
+  forest.reserve(V + steps);
+  std::vector<int> forest_of_root(V);
+  const auto mm = static_cast<std::size_t>(m);
+  for (std::size_t i = 0; i < V; ++i) {
+    ForestNode fn;
+    fn.leaf = static_cast<topo::NodeId>(i);
+    fn.eligible = elig[i] ? 1 : 0;
+    fn.min_id = fn.leaf;
+    if (fn.eligible) fn.top.push_back(fn.leaf);
+    forest.push_back(fn);
+    forest_of_root[i] = static_cast<int>(i);
+  }
+  topo::EligibleUnionFind uf(elig);
+  std::vector<int> split_at(steps + 1, -1);
+  for (std::size_t i = steps; i-- > 0;) {
+    const topo::Link& lk = g.link(seq[i]);
+    const int fa = forest_of_root[static_cast<std::size_t>(uf.find(lk.a))];
+    const int fb = forest_of_root[static_cast<std::size_t>(uf.find(lk.b))];
+    ForestNode fn;
+    fn.left = fa;
+    fn.right = fb;
+    fn.eligible = forest[static_cast<std::size_t>(fa)].eligible +
+                  forest[static_cast<std::size_t>(fb)].eligible;
+    fn.min_id = std::min(forest[static_cast<std::size_t>(fa)].min_id,
+                         forest[static_cast<std::size_t>(fb)].min_id);
+    fn.minfrac = std::min(
+        std::min(forest[static_cast<std::size_t>(fa)].minfrac,
+                 forest[static_cast<std::size_t>(fb)].minfrac),
+        frac[static_cast<std::size_t>(seq[i])]);
+    fn.top = merge_top(cpu, forest[static_cast<std::size_t>(fa)].top,
+                       forest[static_cast<std::size_t>(fb)].top, mm);
+    const int idx = static_cast<int>(forest.size());
+    forest.push_back(fn);
+    const topo::NodeId r = uf.unite(lk.a, lk.b);
+    forest_of_root[static_cast<std::size_t>(r)] = idx;
+    split_at[i + 1] = idx;
+  }
+
+  // Initial components, in the order connected_components numbers them
+  // (ascending smallest member id).
+  std::vector<int> roots;
+  {
+    std::vector<char> seen(forest.size(), 0);
+    for (std::size_t n = 0; n < V; ++n) {
+      const int f = forest_of_root[static_cast<std::size_t>(
+          uf.find(static_cast<topo::NodeId>(n)))];
+      if (!seen[static_cast<std::size_t>(f)]) {
+        seen[static_cast<std::size_t>(f)] = 1;
+        roots.push_back(f);
+      }
+    }
+    std::sort(roots.begin(), roots.end(), [&](int a, int b) {
+      return forest[static_cast<std::size_t>(a)].min_id <
+             forest[static_cast<std::size_t>(b)].min_id;
+    });
+  }
 
   SelectionResult result;
 
-  // Step 1: start from the max-compute choice. On the paper's connected,
-  // unconstrained graph this is exactly "m nodes with maximum available cpu
-  // capacity in G" with minbw over all of G's edges; under fixed-bandwidth
-  // constraints we take the best feasible component.
-  CandidateEval best;
-  {
-    auto comps = topo::connected_components(snap.graph(), mask);
-    auto counts = detail::eligible_counts(snap, opt, comps);
-    for (int c = 0; c < comps.count; ++c) {
-      if (counts[static_cast<std::size_t>(c)] < m) continue;
-      auto cand = evaluate_component(snap, opt, comps, c, mask, m);
-      if (cand.minresource > best.minresource) best = std::move(cand);
-    }
+  // Forward sweep, step 0: evaluate every feasible initial component.
+  Candidate best;
+  int feasible_live = 0;
+  for (int f : roots) {
+    if (forest[static_cast<std::size_t>(f)].eligible < m) continue;
+    ++feasible_live;
+    auto cand = evaluate_forest_node(cpu, opt, forest, f);
+    if (cand.minresource > best.minresource) best = std::move(cand);
   }
   if (best.nodes.empty()) {
     result.note = "no component with enough eligible nodes";
     return result;
   }
 
-  // Steps 2-4: remove the minimum-fractional-bandwidth edge; re-evaluate
-  // every surviving component; keep going while minresource improves.
-  while (true) {
-    topo::LinkId victim = detail::min_fraction_link(snap, opt, mask);
-    if (victim == topo::kInvalidLink) break;
-    mask[static_cast<std::size_t>(victim)] = 0;
+  // Steps 1..E: deletion p splits exactly one component; only its two halves
+  // are new, and only new components can beat `best` (see header comment).
+  // Children compare in ascending-min-id order, matching the literal loop's
+  // component-id order.
+  for (std::size_t p = 1; p <= steps; ++p) {
     ++result.iterations;
-
+    const int d = split_at[p];
+    int a = forest[static_cast<std::size_t>(d)].left;
+    int b = forest[static_cast<std::size_t>(d)].right;
+    if (forest[static_cast<std::size_t>(a)].min_id >
+        forest[static_cast<std::size_t>(b)].min_id)
+      std::swap(a, b);
+    if (forest[static_cast<std::size_t>(d)].eligible >= m) --feasible_live;
     bool newsetflag = false;
-    bool any_feasible = false;
-    auto comps = topo::connected_components(snap.graph(), mask);
-    auto counts = detail::eligible_counts(snap, opt, comps);
-    for (int c = 0; c < comps.count; ++c) {
-      if (counts[static_cast<std::size_t>(c)] < m) continue;
-      any_feasible = true;
-      auto cand = evaluate_component(snap, opt, comps, c, mask, m);
+    for (int f : {a, b}) {
+      if (forest[static_cast<std::size_t>(f)].eligible < m) continue;
+      ++feasible_live;
+      auto cand = evaluate_forest_node(cpu, opt, forest, f);
       if (cand.minresource > best.minresource) {
         best = std::move(cand);
         newsetflag = true;
       }
     }
-    // Paper-exact rule: stop on the first non-improving removal. The
-    // exhaustive extension keeps sweeping while any component can still
-    // host the application, returning the best set seen.
-    if (opt.exhaustive_balanced ? !any_feasible : !newsetflag) break;
+    if (opt.exhaustive_balanced ? feasible_live == 0 : !newsetflag) break;
   }
 
   result.feasible = true;
@@ -115,6 +266,25 @@ SelectionResult select_balanced(const remos::NetworkSnapshot& snap,
   result.min_bw_fraction = best.minbw;
   result.objective = best.minresource;
   return result;
+}
+
+}  // namespace
+
+SelectionResult select_balanced(const SelectionContext& ctx,
+                                const SelectionOptions& opt) {
+  validate_options(ctx.snapshot(), opt);
+  // The merge-forest argument needs unique per-component link sets, i.e. a
+  // forest; the Steiner ablation re-derives its link set per candidate. Both
+  // fall back to the literal Fig. 3 loop.
+  if (!ctx.acyclic() || opt.steiner_restricted)
+    return detail::reference_select_balanced(ctx.snapshot(), opt);
+  return select_balanced_forest(ctx, opt);
+}
+
+SelectionResult select_balanced(const remos::NetworkSnapshot& snap,
+                                const SelectionOptions& opt) {
+  SelectionContext ctx(snap);
+  return select_balanced(ctx, opt);
 }
 
 }  // namespace netsel::select

@@ -4,28 +4,27 @@
 // random on an all-high-speed testbed).
 
 #include "select/algorithms.hpp"
+#include "select/context.hpp"
 #include "select/detail.hpp"
 #include "select/objective.hpp"
 
 namespace netsel::select {
 
 namespace {
-std::vector<topo::NodeId> all_eligible(const remos::NetworkSnapshot& snap,
+std::vector<topo::NodeId> all_eligible(const SelectionContext& ctx,
                                        const SelectionOptions& opt) {
   std::vector<topo::NodeId> out;
-  for (std::size_t i = 0; i < snap.graph().node_count(); ++i) {
-    auto n = static_cast<topo::NodeId>(i);
-    if (node_eligible(snap, n, opt)) out.push_back(n);
-  }
+  auto elig = ctx.eligibility(opt);
+  for (std::size_t i = 0; i < elig.size(); ++i)
+    if (elig[i]) out.push_back(static_cast<topo::NodeId>(i));
   return out;
 }
 
-SelectionResult finish(const remos::NetworkSnapshot& snap,
-                       const SelectionOptions& opt,
+SelectionResult finish(const SelectionContext& ctx, const SelectionOptions& opt,
                        std::vector<topo::NodeId> nodes) {
   SelectionResult result;
   result.feasible = true;
-  auto ev = evaluate_set(snap, nodes, opt);
+  auto ev = evaluate_set(ctx, nodes, opt);
   result.nodes = std::move(nodes);
   result.min_cpu = ev.min_cpu;
   result.min_bw_fraction = ev.min_pair_bw_fraction;
@@ -34,10 +33,10 @@ SelectionResult finish(const remos::NetworkSnapshot& snap,
 }
 }  // namespace
 
-SelectionResult select_random(const remos::NetworkSnapshot& snap,
+SelectionResult select_random(const SelectionContext& ctx,
                               const SelectionOptions& opt, util::Rng& rng) {
-  validate_options(snap, opt);
-  auto pool = all_eligible(snap, opt);
+  validate_options(ctx.snapshot(), opt);
+  auto pool = all_eligible(ctx, opt);
   if (static_cast<int>(pool.size()) < opt.num_nodes) {
     SelectionResult r;
     r.note = "not enough eligible nodes";
@@ -51,20 +50,32 @@ SelectionResult select_random(const remos::NetworkSnapshot& snap,
   }
   pool.resize(static_cast<std::size_t>(opt.num_nodes));
   std::sort(pool.begin(), pool.end());
-  return finish(snap, opt, std::move(pool));
+  return finish(ctx, opt, std::move(pool));
 }
 
-SelectionResult select_static(const remos::NetworkSnapshot& snap,
+SelectionResult select_random(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt, util::Rng& rng) {
+  SelectionContext ctx(snap);
+  return select_random(ctx, opt, rng);
+}
+
+SelectionResult select_static(const SelectionContext& ctx,
                               const SelectionOptions& opt) {
-  validate_options(snap, opt);
-  auto pool = all_eligible(snap, opt);
+  validate_options(ctx.snapshot(), opt);
+  auto pool = all_eligible(ctx, opt);
   if (static_cast<int>(pool.size()) < opt.num_nodes) {
     SelectionResult r;
     r.note = "not enough eligible nodes";
     return r;
   }
   pool.resize(static_cast<std::size_t>(opt.num_nodes));
-  return finish(snap, opt, std::move(pool));
+  return finish(ctx, opt, std::move(pool));
+}
+
+SelectionResult select_static(const remos::NetworkSnapshot& snap,
+                              const SelectionOptions& opt) {
+  SelectionContext ctx(snap);
+  return select_static(ctx, opt);
 }
 
 }  // namespace netsel::select

@@ -2,50 +2,15 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
+#include "select/context.hpp"
 #include "select/detail.hpp"
+#include "topo/connectivity.hpp"
 
 namespace netsel::select {
 
 namespace {
-
-/// Bottleneck available bandwidth from src to every node along BFS paths
-/// (same deterministic paths as evaluate_set), plus the fractional variant.
-struct BottleneckRow {
-  std::vector<double> abs_bw;
-  std::vector<double> frac_bw;
-};
-
-BottleneckRow bottlenecks_from(const remos::NetworkSnapshot& snap,
-                               const SelectionOptions& opt, topo::NodeId src) {
-  const auto& g = snap.graph();
-  BottleneckRow row;
-  row.abs_bw.assign(g.node_count(), -1.0);
-  row.frac_bw.assign(g.node_count(), -1.0);
-  row.abs_bw[static_cast<std::size_t>(src)] =
-      std::numeric_limits<double>::infinity();
-  row.frac_bw[static_cast<std::size_t>(src)] =
-      std::numeric_limits<double>::infinity();
-  std::queue<topo::NodeId> q;
-  q.push(src);
-  while (!q.empty()) {
-    topo::NodeId u = q.front();
-    q.pop();
-    for (topo::LinkId l : g.links_of(u)) {
-      topo::NodeId v = g.other_end(l, u);
-      if (row.abs_bw[static_cast<std::size_t>(v)] >= 0.0) continue;
-      row.abs_bw[static_cast<std::size_t>(v)] =
-          std::min(row.abs_bw[static_cast<std::size_t>(u)], snap.bw(l));
-      row.frac_bw[static_cast<std::size_t>(v)] =
-          std::min(row.frac_bw[static_cast<std::size_t>(u)],
-                   link_fraction(snap, l, opt));
-      q.push(v);
-    }
-  }
-  return row;
-}
 
 std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
   if (k > n) return 0;
@@ -60,9 +25,10 @@ std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
 
 }  // namespace
 
-BruteForceResult brute_force_select(const remos::NetworkSnapshot& snap,
+BruteForceResult brute_force_select(const SelectionContext& ctx,
                                     const SelectionOptions& opt, Criterion c,
                                     std::uint64_t max_subsets) {
+  const auto& snap = ctx.snapshot();
   validate_options(snap, opt);
   const auto m = static_cast<std::size_t>(opt.num_nodes);
 
@@ -77,10 +43,11 @@ BruteForceResult brute_force_select(const remos::NetworkSnapshot& snap,
   if (choose(pool.size(), m) > max_subsets)
     throw std::invalid_argument("brute_force_select: too many subsets");
 
-  // Pairwise bottleneck matrices over the pool.
-  std::vector<BottleneckRow> rows;
+  // Pairwise bottleneck matrices over the pool — the context's per-source
+  // rows follow the same deterministic BFS paths the old per-call BFS did.
+  std::vector<const topo::BottleneckRow*> rows;
   rows.reserve(pool.size());
-  for (topo::NodeId n : pool) rows.push_back(bottlenecks_from(snap, opt, n));
+  for (topo::NodeId n : pool) rows.push_back(&ctx.pair_row(n));
   std::vector<double> cpu(pool.size());
   for (std::size_t i = 0; i < pool.size(); ++i)
     cpu[i] = node_cpu(snap, pool[i], opt);
@@ -97,9 +64,20 @@ BruteForceResult brute_force_select(const remos::NetworkSnapshot& snap,
     for (std::size_t i = 0; i < m; ++i) {
       min_cpu = std::min(min_cpu, cpu[idx[i]]);
       for (std::size_t j = i + 1; j < m; ++j) {
-        auto v = static_cast<std::size_t>(pool[idx[j]]);
-        min_abs = std::min(min_abs, rows[idx[i]].abs_bw[v]);
-        min_frac = std::min(min_frac, rows[idx[i]].frac_bw[v]);
+        const auto& row = *rows[idx[i]];
+        const auto dst = pool[idx[j]];
+        const auto v = static_cast<std::size_t>(dst);
+        if (!row.reached[v]) {
+          // Disconnected pair: the historical per-call BFS left its -1.0
+          // init sentinel in place, ranking disconnected subsets below any
+          // connected one; keep that exact ordering.
+          min_abs = std::min(min_abs, -1.0);
+          min_frac = std::min(min_frac, -1.0);
+          continue;
+        }
+        min_abs = std::min(min_abs, row.bottleneck[v]);
+        min_frac =
+            std::min(min_frac, SelectionContext::row_fraction(row, dst, opt));
       }
     }
     bool ok = opt.min_bw_bps <= 0.0 || min_abs >= opt.min_bw_bps;
@@ -134,6 +112,13 @@ BruteForceResult brute_force_select(const remos::NetworkSnapshot& snap,
     }
     if (m == 0) return result;
   }
+}
+
+BruteForceResult brute_force_select(const remos::NetworkSnapshot& snap,
+                                    const SelectionOptions& opt, Criterion c,
+                                    std::uint64_t max_subsets) {
+  SelectionContext ctx(snap);
+  return brute_force_select(ctx, opt, c, max_subsets);
 }
 
 }  // namespace netsel::select

@@ -14,6 +14,8 @@
 
 namespace netsel::select {
 
+class SelectionContext;
+
 struct BruteForceResult {
   bool feasible = false;
   std::vector<topo::NodeId> nodes;
@@ -27,6 +29,12 @@ struct BruteForceResult {
 /// Throws std::invalid_argument when the enumeration would exceed
 /// `max_subsets` (guard against accidental exponential blowups in tests).
 BruteForceResult brute_force_select(const remos::NetworkSnapshot& snap,
+                                    const SelectionOptions& opt, Criterion c,
+                                    std::uint64_t max_subsets = 2'000'000);
+
+/// Context form: the pairwise bottleneck matrix comes from the context's
+/// cached per-source rows (shared with evaluate_set and the algorithms).
+BruteForceResult brute_force_select(const SelectionContext& ctx,
                                     const SelectionOptions& opt, Criterion c,
                                     std::uint64_t max_subsets = 2'000'000);
 

@@ -1,0 +1,121 @@
+#include "select/context.hpp"
+
+#include <algorithm>
+
+namespace netsel::select {
+
+SelectionContext::SelectionContext(const remos::NetworkSnapshot& snap)
+    : snap_(&snap), epoch_(snap.epoch()) {}
+
+void SelectionContext::revalidate() const {
+  if (epoch_ == snap_->epoch()) return;
+  epoch_ = snap_->epoch();
+  bw_.clear();
+  bwfactor_.clear();
+  by_bw_.clear();
+  by_bwfactor_.clear();
+  base_comps_.reset();
+  rows_.clear();
+}
+
+bool SelectionContext::acyclic() const {
+  if (acyclic_ == -1) acyclic_ = graph().is_acyclic() ? 1 : 0;
+  return acyclic_ == 1;
+}
+
+const std::vector<double>& SelectionContext::link_bw() const {
+  revalidate();
+  if (bw_.size() != graph().link_count()) {
+    bw_.resize(graph().link_count());
+    for (std::size_t l = 0; l < bw_.size(); ++l)
+      bw_[l] = snap_->bw(static_cast<topo::LinkId>(l));
+  }
+  return bw_;
+}
+
+const std::vector<double>& SelectionContext::link_bwfactor() const {
+  revalidate();
+  if (bwfactor_.size() != graph().link_count()) {
+    bwfactor_.resize(graph().link_count());
+    for (std::size_t l = 0; l < bwfactor_.size(); ++l)
+      bwfactor_[l] = snap_->bwfactor(static_cast<topo::LinkId>(l));
+  }
+  return bwfactor_;
+}
+
+namespace {
+
+std::vector<topo::LinkId> sorted_by(const std::vector<double>& key) {
+  std::vector<topo::LinkId> order(key.size());
+  for (std::size_t l = 0; l < key.size(); ++l)
+    order[l] = static_cast<topo::LinkId>(l);
+  // Ascending by (key, id): the id tie-break matches the "lowest link id
+  // among minima" rule of the per-iteration min-edge scan it replaces.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](topo::LinkId a, topo::LinkId b) {
+                     return key[static_cast<std::size_t>(a)] <
+                            key[static_cast<std::size_t>(b)];
+                   });
+  return order;
+}
+
+}  // namespace
+
+const std::vector<topo::LinkId>& SelectionContext::links_by_bw() const {
+  const auto& bw = link_bw();
+  if (by_bw_.size() != bw.size()) by_bw_ = sorted_by(bw);
+  return by_bw_;
+}
+
+std::size_t SelectionContext::first_link_at_or_above(double min_bw_bps) const {
+  const auto& order = links_by_bw();
+  if (min_bw_bps <= 0.0) return 0;
+  const auto& bw = link_bw();
+  auto it = std::lower_bound(order.begin(), order.end(), min_bw_bps,
+                             [&](topo::LinkId l, double v) {
+                               return bw[static_cast<std::size_t>(l)] < v;
+                             });
+  return static_cast<std::size_t>(it - order.begin());
+}
+
+const std::vector<topo::LinkId>& SelectionContext::links_by_fraction(
+    const SelectionOptions& opt) const {
+  if (opt.reference_bw > 0.0) return links_by_bw();
+  const auto& f = link_bwfactor();
+  if (by_bwfactor_.size() != f.size()) by_bwfactor_ = sorted_by(f);
+  return by_bwfactor_;
+}
+
+const topo::Components& SelectionContext::base_components() const {
+  revalidate();
+  if (!base_comps_) {
+    base_comps_ = std::make_unique<topo::Components>(
+        topo::connected_components(graph()));
+  }
+  return *base_comps_;
+}
+
+const topo::BottleneckRow& SelectionContext::pair_row(topo::NodeId src) const {
+  // link_bw()/link_bwfactor() revalidate; rows_ is cleared alongside them.
+  const auto& bw = link_bw();
+  const auto& f = link_bwfactor();
+  if (rows_.size() != graph().node_count()) rows_.resize(graph().node_count());
+  auto& slot = rows_[static_cast<std::size_t>(src)];
+  if (!slot) {
+    slot = std::make_unique<topo::BottleneckRow>(
+        topo::bottleneck_row(graph(), src, bw, f));
+  }
+  return *slot;
+}
+
+std::vector<char> SelectionContext::eligibility(
+    const SelectionOptions& opt) const {
+  std::vector<char> out(graph().node_count(), 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    auto n = static_cast<topo::NodeId>(i);
+    if (node_eligible(*snap_, n, opt)) out[i] = 1;
+  }
+  return out;
+}
+
+}  // namespace netsel::select

@@ -1,0 +1,121 @@
+#pragma once
+// SelectionContext: shared, cached per-snapshot state for the selection
+// stack.
+//
+// The paper's Fig. 2/3 algorithms and the exact pairwise objective are
+// defined operationally — "delete the minimum-bandwidth edge, recompute
+// connected components", "minimum bottleneck bandwidth over all selected
+// pairs" — and the original implementations executed those definitions
+// literally on every call: O(E) component sweeps per edge deletion and one
+// BFS per node pair per evaluation, with nothing shared across algorithms,
+// placement groups, or migration re-checks.
+//
+// A SelectionContext is built once per remos::NetworkSnapshot and caches
+// everything that depends only on the snapshot (not on the per-call
+// SelectionOptions):
+//
+//   - the edge-deletion orders of Fig. 2 (ascending available bandwidth)
+//     and Fig. 3 (ascending fractional bandwidth), sorted once;
+//   - per-source bottleneck-bandwidth rows along the deterministic BFS
+//     tree (topo::bottleneck_row) — on acyclic graphs these are exactly
+//     the widest-path bottlenecks, and they make the pairwise
+//     min-bandwidth objective an O(1) lookup per pair; rows are built
+//     lazily, so a context costs nothing until queried;
+//   - the base connected-component decomposition (all links active).
+//
+// Validity contract: the snapshot carries an epoch counter bumped on every
+// mutation. Each accessor revalidates against snapshot().epoch() and
+// transparently drops stale caches, so a long-lived context (migration
+// controller, advisor sweep) stays correct across snapshot updates at the
+// cost of a rebuild. The referenced snapshot (and its graph) must outlive
+// the context. Not thread-safe: accessors mutate the lazy caches.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "remos/snapshot.hpp"
+#include "select/options.hpp"
+#include "topo/connectivity.hpp"
+#include "topo/graph.hpp"
+
+namespace netsel::select {
+
+class SelectionContext {
+ public:
+  /// Cheap: records the snapshot and its epoch; all caches fill on demand.
+  explicit SelectionContext(const remos::NetworkSnapshot& snap);
+
+  const remos::NetworkSnapshot& snapshot() const { return *snap_; }
+  const topo::TopologyGraph& graph() const { return snap_->graph(); }
+
+  /// Epoch of the snapshot the current caches were built against.
+  std::uint64_t epoch() const { return epoch_; }
+  /// True while the snapshot has not been mutated since the caches were
+  /// (re)built. Accessors below revalidate automatically.
+  bool current() const { return epoch_ == snap_->epoch(); }
+
+  /// Cached graph().is_acyclic() (a static property of the topology).
+  bool acyclic() const;
+
+  /// Available bandwidth per link, copied out of the snapshot (dense, for
+  /// the kernels below).
+  const std::vector<double>& link_bw() const;
+  /// Fraction-of-peak (bwfactor) per link.
+  const std::vector<double>& link_bwfactor() const;
+
+  /// Links sorted ascending by (available bw, id): the Fig. 2 deletion
+  /// sequence. The links masked out by a fixed-bandwidth requirement are
+  /// exactly a prefix of this order.
+  const std::vector<topo::LinkId>& links_by_bw() const;
+  /// Index of the first entry of links_by_bw() with bw >= min_bw_bps; the
+  /// suffix from here is the active-link deletion sequence under that
+  /// requirement.
+  std::size_t first_link_at_or_above(double min_bw_bps) const;
+
+  /// Links sorted ascending by (link_fraction under opt, id): the Fig. 3
+  /// deletion sequence. With a reference link capacity the fraction is a
+  /// constant multiple of the absolute bandwidth, so the Fig. 2 order is
+  /// reused; otherwise the bwfactor order is cached separately.
+  const std::vector<topo::LinkId>& links_by_fraction(
+      const SelectionOptions& opt) const;
+
+  /// Connected components with every link active (the initial state of the
+  /// unconstrained algorithms).
+  const topo::Components& base_components() const;
+
+  /// Cached bottleneck row from `src` over the full graph: bottleneck =
+  /// available bandwidth, bottleneck2 = bwfactor, plus path latency and
+  /// reachability, along the same deterministic BFS paths evaluate_set and
+  /// bfs_path trace. Built lazily per source, O(V + E) once.
+  const topo::BottleneckRow& pair_row(topo::NodeId src) const;
+
+  /// Fractional bottleneck from a pair_row() under the options' reference
+  /// rules (bw / reference_bw, or the cached bwfactor bottleneck).
+  static double row_fraction(const topo::BottleneckRow& row, topo::NodeId dst,
+                             const SelectionOptions& opt) {
+    if (opt.reference_bw > 0.0)
+      return row.bottleneck[static_cast<std::size_t>(dst)] / opt.reference_bw;
+    return row.bottleneck2[static_cast<std::size_t>(dst)];
+  }
+
+  /// Per-node eligibility under `opt` (compute, mask, min-cpu, memory).
+  /// Options-dependent, so computed per call — O(V), not cached.
+  std::vector<char> eligibility(const SelectionOptions& opt) const;
+
+ private:
+  /// Drop every epoch-keyed cache if the snapshot has moved on.
+  void revalidate() const;
+
+  const remos::NetworkSnapshot* snap_;
+  mutable std::uint64_t epoch_;
+  mutable int acyclic_ = -1;  // tri-state: unknown / no / yes (graph-static)
+  mutable std::vector<double> bw_;
+  mutable std::vector<double> bwfactor_;
+  mutable std::vector<topo::LinkId> by_bw_;
+  mutable std::vector<topo::LinkId> by_bwfactor_;
+  mutable std::unique_ptr<topo::Components> base_comps_;
+  mutable std::vector<std::unique_ptr<topo::BottleneckRow>> rows_;
+};
+
+}  // namespace netsel::select

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "select/algorithms.hpp"
+#include "select/context.hpp"
 #include "select/detail.hpp"
 #include "select/objective.hpp"
 
@@ -117,7 +118,8 @@ SelectionResult select_min_latency(const remos::NetworkSnapshot& snap,
   result.feasible = true;
   result.nodes = best.nodes;
   result.min_cpu = best.min_cpu;
-  auto ev = evaluate_set(snap, result.nodes, opt);
+  SelectionContext ctx(snap);
+  auto ev = evaluate_set(ctx, result.nodes, opt);
   result.min_bw_fraction = ev.min_pair_bw_fraction;
   result.objective = -best.max_latency;
   std::ostringstream os;
@@ -133,9 +135,13 @@ SelectionResult select_balanced_latency_bound(
   if (max_pair_latency < 0.0)
     throw std::invalid_argument("latency bound must be >= 0");
 
-  auto unconstrained = select_balanced(snap, opt);
+  // One context for the whole sweep: every candidate evaluation below hits
+  // the same cached bottleneck rows.
+  SelectionContext ctx(snap);
+
+  auto unconstrained = select_balanced(ctx, opt);
   if (unconstrained.feasible) {
-    auto ev = evaluate_set(snap, unconstrained.nodes, opt);
+    auto ev = evaluate_set(ctx, unconstrained.nodes, opt);
     if (ev.max_pair_latency <= max_pair_latency) return unconstrained;
   }
 
@@ -158,7 +164,7 @@ SelectionResult select_balanced_latency_bound(
     if (static_cast<int>(pool.size()) < opt.num_nodes) continue;
     auto nodes = detail::top_m_by_cpu(snap, opt, std::move(pool), opt.num_nodes);
     if (exact_max_pair(dist, n, nodes) > max_pair_latency + 1e-12) continue;
-    auto ev = evaluate_set(snap, nodes, opt);
+    auto ev = evaluate_set(ctx, nodes, opt);
     if (!ev.connected) continue;
     if (opt.min_bw_bps > 0.0 && ev.min_pair_bw < opt.min_bw_bps) continue;
     if (ev.balanced > best_value) {

@@ -1,24 +1,36 @@
 #include <limits>
 
 #include "select/algorithms.hpp"
+#include "select/context.hpp"
 #include "select/detail.hpp"
 #include "topo/connectivity.hpp"
 
 namespace netsel::select {
 
-SelectionResult select_max_compute(const remos::NetworkSnapshot& snap,
+SelectionResult select_max_compute(const SelectionContext& ctx,
                                    const SelectionOptions& opt) {
+  const auto& snap = ctx.snapshot();
   validate_options(snap, opt);
   const int m = opt.num_nodes;
-  auto mask = initial_link_mask(snap, opt);
-  auto comps = topo::connected_components(snap.graph(), mask);
-  auto counts = detail::eligible_counts(snap, opt, comps);
+
+  // Unconstrained requests reuse the context's base decomposition; a fixed
+  // bandwidth requirement changes the link set, so decompose per call.
+  std::vector<char> mask = initial_link_mask(snap, opt);
+  const topo::Components* comps;
+  topo::Components local;
+  if (opt.min_bw_bps > 0.0) {
+    local = topo::connected_components(snap.graph(), mask);
+    comps = &local;
+  } else {
+    comps = &ctx.base_components();
+  }
+  auto counts = detail::eligible_counts(snap, opt, *comps);
 
   SelectionResult result;
   double best = -std::numeric_limits<double>::infinity();
-  for (int c = 0; c < comps.count; ++c) {
+  for (int c = 0; c < comps->count; ++c) {
     if (counts[static_cast<std::size_t>(c)] < m) continue;
-    auto members = detail::eligible_members(snap, opt, comps, c);
+    auto members = detail::eligible_members(snap, opt, *comps, c);
     auto chosen = detail::top_m_by_cpu(snap, opt, std::move(members), m);
     double mincpu = detail::min_cpu_of(snap, opt, chosen);
     if (mincpu > best) {
@@ -27,7 +39,7 @@ SelectionResult select_max_compute(const remos::NetworkSnapshot& snap,
       result.nodes = std::move(chosen);
       result.min_cpu = mincpu;
       result.min_bw_fraction =
-          detail::min_fraction_in_component(snap, opt, comps, c, mask);
+          detail::min_fraction_in_component(snap, opt, *comps, c, mask);
       result.objective = mincpu;
     }
   }
@@ -35,16 +47,28 @@ SelectionResult select_max_compute(const remos::NetworkSnapshot& snap,
   return result;
 }
 
-SelectionResult select_nodes(Criterion c, const remos::NetworkSnapshot& snap,
+SelectionResult select_max_compute(const remos::NetworkSnapshot& snap,
+                                   const SelectionOptions& opt) {
+  SelectionContext ctx(snap);
+  return select_max_compute(ctx, opt);
+}
+
+SelectionResult select_nodes(Criterion c, const SelectionContext& ctx,
                              const SelectionOptions& opt) {
   switch (c) {
-    case Criterion::MaxCompute: return select_max_compute(snap, opt);
-    case Criterion::MaxBandwidth: return select_max_bandwidth(snap, opt);
-    case Criterion::Balanced: return select_balanced(snap, opt);
+    case Criterion::MaxCompute: return select_max_compute(ctx, opt);
+    case Criterion::MaxBandwidth: return select_max_bandwidth(ctx, opt);
+    case Criterion::Balanced: return select_balanced(ctx, opt);
   }
   SelectionResult r;
   r.note = "unknown criterion";
   return r;
+}
+
+SelectionResult select_nodes(Criterion c, const remos::NetworkSnapshot& snap,
+                             const SelectionOptions& opt) {
+  SelectionContext ctx(snap);
+  return select_nodes(c, ctx, opt);
 }
 
 }  // namespace netsel::select

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "select/context.hpp"
+
 namespace netsel::select {
 
 namespace {
@@ -76,10 +78,11 @@ std::vector<topo::LinkId> steiner_links(const topo::TopologyGraph& g,
   return out;
 }
 
-SetEvaluation evaluate_set(const remos::NetworkSnapshot& snap,
+SetEvaluation evaluate_set(const SelectionContext& ctx,
                            const std::vector<topo::NodeId>& nodes,
                            const SelectionOptions& opt) {
-  const auto& g = snap.graph();
+  const auto& snap = ctx.snapshot();
+  const auto& g = ctx.graph();
   SetEvaluation ev;
   ev.connected = true;
   ev.min_cpu = std::numeric_limits<double>::infinity();
@@ -91,30 +94,48 @@ SetEvaluation evaluate_set(const remos::NetworkSnapshot& snap,
       throw std::invalid_argument("evaluate_set: non-compute node in set");
     ev.min_cpu = std::min(ev.min_cpu, node_cpu(snap, n, opt));
   }
-  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
-    auto parents = bfs_parents(g, nullptr, nodes[i]);
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      if (nodes[i] == nodes[j]) continue;
-      auto path = trace_path(g, parents, nodes[i], nodes[j]);
-      if (path.empty()) {
-        ev.connected = false;
-        ev.min_pair_bw = 0.0;
-        ev.min_pair_bw_fraction = 0.0;
-        continue;
+  if (nodes.size() == 1) {
+    // No pairs: report the node's NIC availability, per figure (see
+    // SetEvaluation::min_pair_bw).
+    double nic_bw = 0.0;
+    double nic_frac = 0.0;
+    for (topo::LinkId l : g.links_of(nodes[0])) {
+      nic_bw = std::max(nic_bw, snap.bw(l));
+      nic_frac = std::max(nic_frac, link_fraction(snap, l, opt));
+    }
+    ev.min_pair_bw = nic_bw;
+    ev.min_pair_bw_fraction = nic_frac;
+  } else {
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const topo::BottleneckRow* row = nullptr;
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (nodes[i] == nodes[j]) continue;
+        if (!row) row = &ctx.pair_row(nodes[i]);
+        const auto v = static_cast<std::size_t>(nodes[j]);
+        if (!row->reached[v]) {
+          ev.connected = false;
+          ev.min_pair_bw = 0.0;
+          ev.min_pair_bw_fraction = 0.0;
+          continue;
+        }
+        ev.min_pair_bw = std::min(ev.min_pair_bw, row->bottleneck[v]);
+        ev.min_pair_bw_fraction = std::min(
+            ev.min_pair_bw_fraction,
+            SelectionContext::row_fraction(*row, nodes[j], opt));
+        ev.max_pair_latency = std::max(ev.max_pair_latency, row->latency[v]);
       }
-      double latency = 0.0;
-      for (topo::LinkId l : path) {
-        ev.min_pair_bw = std::min(ev.min_pair_bw, snap.bw(l));
-        ev.min_pair_bw_fraction =
-            std::min(ev.min_pair_bw_fraction, link_fraction(snap, l, opt));
-        latency += g.link(l).latency;
-      }
-      ev.max_pair_latency = std::max(ev.max_pair_latency, latency);
     }
   }
   ev.balanced = std::min(ev.min_cpu / opt.cpu_priority,
                          ev.min_pair_bw_fraction / opt.bw_priority);
   return ev;
+}
+
+SetEvaluation evaluate_set(const remos::NetworkSnapshot& snap,
+                           const std::vector<topo::NodeId>& nodes,
+                           const SelectionOptions& opt) {
+  SelectionContext ctx(snap);
+  return evaluate_set(ctx, nodes, opt);
 }
 
 }  // namespace netsel::select

@@ -12,14 +12,21 @@
 
 namespace netsel::select {
 
+class SelectionContext;
+
 struct SetEvaluation {
   bool connected = false;
   /// Minimum fractional cpu (reference units) among the set.
   double min_cpu = 0.0;
   /// Minimum over node pairs of the bottleneck available bandwidth along
-  /// the path between them, bits/second.
+  /// the path between them, bits/second. For a single-node set there are no
+  /// pairs; by convention this is the node's NIC availability — the maximum
+  /// available bandwidth over its incident links (0 for an isolated node) —
+  /// so the figure is always finite and printable.
   double min_pair_bw = 0.0;
-  /// Same, in fractional (reference) units per the options.
+  /// Same, in fractional (reference) units per the options. The single-node
+  /// convention applies per-figure: the maximum link *fraction* over the
+  /// incident links, which may come from a different link than min_pair_bw.
   double min_pair_bw_fraction = 0.0;
   /// min(min_cpu / cpu_priority, min_pair_bw_fraction / bw_priority).
   double balanced = 0.0;
@@ -30,8 +37,17 @@ struct SetEvaluation {
 
 /// Evaluate `nodes` on the full graph (paths found by BFS with the same
 /// deterministic tie-break as static routing; on acyclic graphs paths are
-/// unique). A set of fewer than 2 nodes has infinite pairwise bandwidth.
+/// unique). Single-node sets use the finite NIC-availability convention
+/// documented on SetEvaluation::min_pair_bw.
 SetEvaluation evaluate_set(const remos::NetworkSnapshot& snap,
+                           const std::vector<topo::NodeId>& nodes,
+                           const SelectionOptions& opt = {});
+
+/// Same, against a SelectionContext: pairwise bottlenecks come from the
+/// context's cached per-source rows (identical paths and values), so
+/// repeated evaluations against one snapshot cost O(1) per pair after the
+/// first touch of each source node.
+SetEvaluation evaluate_set(const SelectionContext& ctx,
                            const std::vector<topo::NodeId>& nodes,
                            const SelectionOptions& opt = {});
 

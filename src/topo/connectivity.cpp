@@ -1,5 +1,8 @@
 #include "topo/connectivity.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <queue>
 #include <stdexcept>
 
 namespace netsel::topo {
@@ -47,6 +50,84 @@ Components connected_components(const TopologyGraph& g,
 Components connected_components(const TopologyGraph& g) {
   std::vector<char> all(g.link_count(), 1);
   return connected_components(g, all);
+}
+
+EligibleUnionFind::EligibleUnionFind(const std::vector<char>& eligible)
+    : parent_(eligible.size()),
+      size_(eligible.size(), 1),
+      eligible_(eligible.size()),
+      min_member_(eligible.size()) {
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    parent_[i] = static_cast<NodeId>(i);
+    min_member_[i] = static_cast<NodeId>(i);
+    eligible_[i] = eligible[i] ? 1 : 0;
+    if (eligible_[i] > max_eligible_) max_eligible_ = eligible_[i];
+  }
+}
+
+NodeId EligibleUnionFind::find(NodeId n) {
+  // Path halving.
+  while (parent_[idx(n)] != n) {
+    parent_[idx(n)] = parent_[idx(parent_[idx(n)])];
+    n = parent_[idx(n)];
+  }
+  return n;
+}
+
+NodeId EligibleUnionFind::unite(NodeId a, NodeId b) {
+  NodeId ra = find(a);
+  NodeId rb = find(b);
+  if (ra == rb) return ra;
+  if (size_[idx(ra)] < size_[idx(rb)]) std::swap(ra, rb);
+  parent_[idx(rb)] = ra;
+  size_[idx(ra)] += size_[idx(rb)];
+  eligible_[idx(ra)] += eligible_[idx(rb)];
+  if (min_member_[idx(rb)] < min_member_[idx(ra)])
+    min_member_[idx(ra)] = min_member_[idx(rb)];
+  if (eligible_[idx(ra)] > max_eligible_) max_eligible_ = eligible_[idx(ra)];
+  return ra;
+}
+
+BottleneckRow bottleneck_row(const TopologyGraph& g, NodeId src,
+                             std::span<const double> weight,
+                             std::span<const double> weight2) {
+  if (weight.size() != g.link_count())
+    throw std::invalid_argument("bottleneck_row: weight size mismatch");
+  if (!weight2.empty() && weight2.size() != g.link_count())
+    throw std::invalid_argument("bottleneck_row: weight2 size mismatch");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = g.node_count();
+  BottleneckRow row;
+  row.bottleneck.assign(n, 0.0);
+  if (!weight2.empty()) row.bottleneck2.assign(n, 0.0);
+  row.latency.assign(n, 0.0);
+  row.reached.assign(n, 0);
+  row.bottleneck[static_cast<std::size_t>(src)] = kInf;
+  if (!weight2.empty()) row.bottleneck2[static_cast<std::size_t>(src)] = kInf;
+  row.reached[static_cast<std::size_t>(src)] = 1;
+  // The FIFO order and links_of() iteration order below must match
+  // select::bfs_path exactly: they define the same BFS tree, hence the same
+  // deterministic paths on cyclic graphs.
+  std::queue<NodeId> q;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    const auto iu = static_cast<std::size_t>(u);
+    for (LinkId l : g.links_of(u)) {
+      NodeId v = g.other_end(l, u);
+      const auto iv = static_cast<std::size_t>(v);
+      if (row.reached[iv]) continue;
+      row.reached[iv] = 1;
+      const auto il = static_cast<std::size_t>(l);
+      row.bottleneck[iv] = std::min(row.bottleneck[iu], weight[il]);
+      if (!weight2.empty())
+        row.bottleneck2[iv] = std::min(row.bottleneck2[iu], weight2[il]);
+      row.latency[iv] = row.latency[iu] + g.link(l).latency;
+      q.push(v);
+    }
+  }
+  return row;
 }
 
 int largest_compute_component(const Components& c) {

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -72,6 +73,8 @@ std::string TextTable::render() const {
 }
 
 std::string fmt(double v, int precision) {
+  if (std::isnan(v)) return "n/a";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
@@ -85,6 +88,7 @@ std::string fmt_pct_change(double from, double to) {
 }
 
 std::string fmt_bytes(double bytes) {
+  if (!std::isfinite(bytes)) return fmt(bytes, 0) + "B";
   const char* units[] = {"B", "KB", "MB", "GB", "TB"};
   int u = 0;
   while (bytes >= 1000.0 && u < 4) {

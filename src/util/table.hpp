@@ -37,7 +37,9 @@ class TextTable {
   std::vector<Align> aligns_;
 };
 
-/// Format a double with fixed precision.
+/// Format a double with fixed precision. Non-finite values render as
+/// "inf"/"-inf"/"n/a" instead of the platform's ostream spelling, so table
+/// cells stay compact and predictable.
 std::string fmt(double v, int precision = 1);
 
 /// Format a percentage change like the paper's "(-23.8%)" cells.

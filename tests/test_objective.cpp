@@ -14,14 +14,17 @@ TEST(BfsPath, StarPath) {
   EXPECT_TRUE(bfs_path(g, 1, 1).empty());
 }
 
-TEST(EvaluateSet, SingleNodeHasInfinitePairBw) {
+TEST(EvaluateSet, SingleNodeReportsNicAvailability) {
+  // A size-1 set has no node pairs; the bandwidth figures report the node's
+  // best incident link availability instead of the vacuous +inf minimum.
   auto g = topo::star(3);
   remos::NetworkSnapshot snap(g);
   snap.set_cpu(1, 0.5);
   auto ev = evaluate_set(snap, {1});
   EXPECT_TRUE(ev.connected);
   EXPECT_DOUBLE_EQ(ev.min_cpu, 0.5);
-  EXPECT_TRUE(std::isinf(ev.min_pair_bw));
+  EXPECT_DOUBLE_EQ(ev.min_pair_bw, 100e6);
+  EXPECT_DOUBLE_EQ(ev.min_pair_bw_fraction, 1.0);
   EXPECT_DOUBLE_EQ(ev.balanced, 0.5);
 }
 

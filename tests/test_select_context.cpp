@@ -1,0 +1,338 @@
+// Golden-equivalence suite for the SelectionContext-based algorithm
+// implementations: the context fast paths (offline reverse union-find for
+// Fig. 2, the merge forest for Fig. 3, cached bottleneck rows for
+// evaluate_set and brute force) must reproduce the retained naive reference
+// implementations (select/reference.hpp) *exactly* — identical node sets,
+// bit-identical objective figures, identical iteration counts — across a
+// broad randomized sweep of topologies, loads and option combinations. Also
+// covers the context's epoch-invalidation contract, the cyclic-graph
+// behaviour, and the finite single-node evaluation convention.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "select/algorithms.hpp"
+#include "select/brute_force.hpp"
+#include "select/context.hpp"
+#include "select/objective.hpp"
+#include "select/reference.hpp"
+#include "topo/generators.hpp"
+
+namespace netsel::select {
+namespace {
+
+struct Instance {
+  std::unique_ptr<topo::TopologyGraph> graph;
+  std::unique_ptr<remos::NetworkSnapshot> snap;
+};
+
+/// A randomized tree topology + snapshot, everything derived from the seed:
+/// size, shape, loads, availabilities.
+Instance random_instance(std::uint64_t seed) {
+  util::Rng rng(seed * 7919 + 1);
+  topo::RandomTreeOptions topt;
+  topt.compute_nodes = static_cast<int>(rng.uniform_int(5, 40));
+  topt.network_nodes = static_cast<int>(rng.uniform_int(2, 10));
+  topt.hosts_are_leaves = rng.uniform_int(0, 1) == 0;
+  Instance inst;
+  inst.graph =
+      std::make_unique<topo::TopologyGraph>(topo::random_tree(rng, topt));
+  inst.snap = std::make_unique<remos::NetworkSnapshot>(*inst.graph);
+  for (auto n : inst.graph->compute_nodes())
+    inst.snap->set_loadavg(n, rng.uniform(0.0, 3.0));
+  for (std::size_t l = 0; l < inst.graph->link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    inst.snap->set_bw(id, rng.uniform(0.05, 1.0) * inst.snap->maxbw(id));
+  }
+  return inst;
+}
+
+/// Randomized options derived from the same seed: m, priorities, thresholds,
+/// reference capacities, eligibility mask.
+SelectionOptions random_options(std::uint64_t seed, const Instance& inst) {
+  util::Rng rng(seed * 104729 + 2);
+  SelectionOptions opt;
+  opt.num_nodes = static_cast<int>(rng.uniform_int(1, 8));
+  opt.cpu_priority = rng.uniform_int(0, 2) == 0 ? 2.0 : 1.0;
+  opt.bw_priority = rng.uniform_int(0, 2) == 0 ? 0.5 : 1.0;
+  if (rng.uniform_int(0, 2) == 0) opt.reference_bw = topo::k100Mbps;
+  if (rng.uniform_int(0, 2) == 0)
+    opt.min_bw_bps = rng.uniform(5.0, 60.0) * topo::kMbps;
+  if (rng.uniform_int(0, 3) == 0) opt.min_cpu_fraction = rng.uniform(0.1, 0.5);
+  if (rng.uniform_int(0, 2) == 0) {
+    // Mask out ~1/4 of the compute nodes.
+    opt.eligible.assign(inst.graph->node_count(), 0);
+    for (auto n : inst.graph->compute_nodes())
+      opt.eligible[static_cast<std::size_t>(n)] =
+          rng.uniform_int(0, 3) == 0 ? 0 : 1;
+  }
+  return opt;
+}
+
+void expect_same_result(const SelectionResult& fast, const SelectionResult& ref,
+                        const std::string& what) {
+  ASSERT_EQ(fast.feasible, ref.feasible) << what;
+  EXPECT_EQ(fast.nodes, ref.nodes) << what;
+  EXPECT_EQ(fast.iterations, ref.iterations) << what;
+  if (!fast.feasible) return;
+  EXPECT_DOUBLE_EQ(fast.min_cpu, ref.min_cpu) << what;
+  // The single-node bandwidth figures intentionally diverge: the reference
+  // keeps the historical +inf convention, the production path reports the
+  // finite NIC availability.
+  if (fast.nodes.size() >= 2) {
+    EXPECT_DOUBLE_EQ(fast.min_bw_fraction, ref.min_bw_fraction) << what;
+    EXPECT_DOUBLE_EQ(fast.objective, ref.objective) << what;
+  }
+}
+
+constexpr std::uint64_t kSweepSeeds = 120;  // >= 100 random topologies
+
+TEST(GoldenEquivalence, MaxBandwidthMatchesReferenceLoop) {
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    auto inst = random_instance(seed);
+    auto opt = random_options(seed, inst);
+    SelectionContext ctx(*inst.snap);
+    expect_same_result(select_max_bandwidth(ctx, opt),
+                       detail::reference_select_max_bandwidth(*inst.snap, opt),
+                       "fig2 seed " + std::to_string(seed));
+  }
+}
+
+TEST(GoldenEquivalence, BalancedMatchesReferenceLoop) {
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    auto inst = random_instance(seed);
+    auto opt = random_options(seed, inst);
+    SelectionContext ctx(*inst.snap);
+    expect_same_result(select_balanced(ctx, opt),
+                       detail::reference_select_balanced(*inst.snap, opt),
+                       "fig3 seed " + std::to_string(seed));
+  }
+}
+
+TEST(GoldenEquivalence, ExhaustiveBalancedMatchesReferenceLoop) {
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    auto inst = random_instance(seed);
+    auto opt = random_options(seed, inst);
+    opt.exhaustive_balanced = true;
+    SelectionContext ctx(*inst.snap);
+    expect_same_result(select_balanced(ctx, opt),
+                       detail::reference_select_balanced(*inst.snap, opt),
+                       "fig3ex seed " + std::to_string(seed));
+  }
+}
+
+TEST(GoldenEquivalence, MaxComputeMatchesReference) {
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    auto inst = random_instance(seed);
+    auto opt = random_options(seed, inst);
+    SelectionContext ctx(*inst.snap);
+    expect_same_result(select_max_compute(ctx, opt),
+                       detail::reference_select_max_compute(*inst.snap, opt),
+                       "maxcpu seed " + std::to_string(seed));
+  }
+}
+
+TEST(GoldenEquivalence, EvaluateSetMatchesReferenceBfs) {
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    auto inst = random_instance(seed);
+    auto opt = random_options(seed, inst);
+    auto computes = inst.graph->compute_nodes();
+    util::Rng rng(seed * 31 + 5);
+    // A few random subsets of size >= 2 per instance.
+    for (int rep = 0; rep < 3; ++rep) {
+      auto size =
+          static_cast<std::size_t>(rng.uniform_int(
+              2, static_cast<std::int64_t>(std::min<std::size_t>(
+                     computes.size(), 6))));
+      std::vector<topo::NodeId> nodes;
+      for (std::size_t i = 0; i < size; ++i) {
+        auto n = computes[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(computes.size()) - 1))];
+        nodes.push_back(n);
+      }
+      std::sort(nodes.begin(), nodes.end());
+      nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+      if (nodes.size() < 2) continue;
+      SelectionContext ctx(*inst.snap);
+      auto fast = evaluate_set(ctx, nodes, opt);
+      auto ref = detail::reference_evaluate_set(*inst.snap, nodes, opt);
+      EXPECT_EQ(fast.connected, ref.connected) << seed;
+      EXPECT_DOUBLE_EQ(fast.min_cpu, ref.min_cpu) << seed;
+      EXPECT_DOUBLE_EQ(fast.min_pair_bw, ref.min_pair_bw) << seed;
+      EXPECT_DOUBLE_EQ(fast.min_pair_bw_fraction, ref.min_pair_bw_fraction)
+          << seed;
+      EXPECT_DOUBLE_EQ(fast.balanced, ref.balanced) << seed;
+      EXPECT_DOUBLE_EQ(fast.max_pair_latency, ref.max_pair_latency) << seed;
+    }
+  }
+}
+
+TEST(GoldenEquivalence, BruteForceMatchesAcrossEntryPoints) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto inst = random_instance(seed);
+    SelectionOptions opt;
+    opt.num_nodes = 3;
+    SelectionContext ctx(*inst.snap);
+    for (Criterion c : {Criterion::MaxCompute, Criterion::MaxBandwidth,
+                        Criterion::Balanced}) {
+      auto via_ctx = brute_force_select(ctx, opt, c);
+      auto via_snap = brute_force_select(*inst.snap, opt, c);
+      EXPECT_EQ(via_ctx.feasible, via_snap.feasible);
+      EXPECT_EQ(via_ctx.nodes, via_snap.nodes);
+      EXPECT_DOUBLE_EQ(via_ctx.objective, via_snap.objective);
+    }
+  }
+}
+
+TEST(GoldenEquivalence, SteinerRestrictedFallsBackToReference) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = random_instance(seed);
+    auto opt = random_options(seed, inst);
+    opt.steiner_restricted = true;
+    SelectionContext ctx(*inst.snap);
+    expect_same_result(select_balanced(ctx, opt),
+                       detail::reference_select_balanced(*inst.snap, opt),
+                       "steiner seed " + std::to_string(seed));
+  }
+}
+
+/// A topology with a router cycle: sw0-sw1-sw2-sw0 plus hosts.
+Instance cyclic_instance(std::uint64_t seed) {
+  util::Rng rng(seed * 17 + 3);
+  Instance inst;
+  inst.graph = std::make_unique<topo::TopologyGraph>();
+  auto& g = *inst.graph;
+  auto sw0 = g.add_network("sw0");
+  auto sw1 = g.add_network("sw1");
+  auto sw2 = g.add_network("sw2");
+  g.add_link(sw0, sw1, topo::k100Mbps);
+  g.add_link(sw1, sw2, topo::k100Mbps);
+  g.add_link(sw2, sw0, topo::k100Mbps);
+  for (int i = 0; i < 9; ++i) {
+    auto h = g.add_compute("h" + std::to_string(i));
+    g.add_link(i % 3 == 0 ? sw0 : (i % 3 == 1 ? sw1 : sw2), h,
+               topo::k100Mbps);
+  }
+  inst.snap = std::make_unique<remos::NetworkSnapshot>(g);
+  for (auto n : g.compute_nodes())
+    inst.snap->set_loadavg(n, rng.uniform(0.0, 2.0));
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    inst.snap->set_bw(id, rng.uniform(0.1, 1.0) * inst.snap->maxbw(id));
+  }
+  return inst;
+}
+
+TEST(CyclicGraphs, Fig2ReverseReplayHandlesCycles) {
+  // The Fig. 2 offline replay is valid on any graph (feasibility is monotone
+  // under deletion regardless of cycles); check it against the literal loop.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    auto inst = cyclic_instance(seed);
+    ASSERT_FALSE(inst.graph->is_acyclic());
+    SelectionOptions opt;
+    opt.num_nodes = static_cast<int>(seed % 5) + 1;
+    SelectionContext ctx(*inst.snap);
+    expect_same_result(select_max_bandwidth(ctx, opt),
+                       detail::reference_select_max_bandwidth(*inst.snap, opt),
+                       "cyclic fig2 seed " + std::to_string(seed));
+  }
+}
+
+TEST(CyclicGraphs, BalancedFallsBackToReferenceLoop) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    auto inst = cyclic_instance(seed);
+    SelectionOptions opt;
+    opt.num_nodes = static_cast<int>(seed % 4) + 2;
+    SelectionContext ctx(*inst.snap);
+    EXPECT_FALSE(ctx.acyclic());
+    expect_same_result(select_balanced(ctx, opt),
+                       detail::reference_select_balanced(*inst.snap, opt),
+                       "cyclic fig3 seed " + std::to_string(seed));
+  }
+}
+
+TEST(EpochInvalidation, MutationsAreObservedThroughTheContext) {
+  auto inst = random_instance(42);
+  SelectionOptions opt;
+  opt.num_nodes = 4;
+  SelectionContext ctx(*inst.snap);
+
+  auto before = select_max_bandwidth(ctx, opt);
+  ASSERT_TRUE(before.feasible);
+  EXPECT_TRUE(ctx.current());
+
+  // Degrade every link touched by the previous winner's component; the
+  // context must notice the snapshot moved on and recompute.
+  const auto e0 = inst.snap->epoch();
+  for (std::size_t l = 0; l < inst.graph->link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    inst.snap->set_bw(id, inst.snap->bw(id) * 0.5);
+  }
+  EXPECT_GT(inst.snap->epoch(), e0);
+  EXPECT_FALSE(ctx.current());
+
+  auto after = select_max_bandwidth(ctx, opt);
+  expect_same_result(
+      after, detail::reference_select_max_bandwidth(*inst.snap, opt),
+      "post-mutation");
+  EXPECT_TRUE(ctx.current());
+
+  // Unrelated mutation kinds bump the epoch too.
+  inst.snap->set_cpu(inst.graph->compute_nodes()[0], 0.123);
+  EXPECT_FALSE(ctx.current());
+  auto again = select_balanced(ctx, opt);
+  expect_same_result(again,
+                     detail::reference_select_balanced(*inst.snap, opt),
+                     "post-cpu-mutation");
+}
+
+TEST(SingleNodeConvention, EvaluateSetReportsNicAvailability) {
+  topo::TopologyGraph g;
+  auto sw = g.add_network("sw");
+  auto a = g.add_compute("a");
+  auto b = g.add_compute("b");
+  auto la = g.add_link(sw, a, topo::k100Mbps);
+  g.add_link(sw, b, topo::k100Mbps);
+  remos::NetworkSnapshot snap(g);
+  snap.set_bw(la, 40e6);
+
+  SetEvaluation ev = evaluate_set(snap, {a});
+  EXPECT_TRUE(ev.connected);
+  EXPECT_TRUE(std::isfinite(ev.min_pair_bw));
+  EXPECT_DOUBLE_EQ(ev.min_pair_bw, 40e6);
+  EXPECT_DOUBLE_EQ(ev.min_pair_bw_fraction, 0.4);
+  EXPECT_TRUE(std::isfinite(ev.balanced));
+
+  // The historical reference keeps +inf (documented divergence).
+  auto ref = detail::reference_evaluate_set(snap, {a});
+  EXPECT_TRUE(std::isinf(ref.min_pair_bw));
+
+  // An isolated compute node reports zero NIC availability.
+  topo::TopologyGraph g2;
+  auto lone = g2.add_compute("lone");
+  remos::NetworkSnapshot snap2(g2);
+  SetEvaluation ev2 = evaluate_set(snap2, {lone});
+  EXPECT_DOUBLE_EQ(ev2.min_pair_bw, 0.0);
+  EXPECT_DOUBLE_EQ(ev2.min_pair_bw_fraction, 0.0);
+}
+
+TEST(ContextCaching, RepeatedQueriesReuseState) {
+  auto inst = random_instance(7);
+  SelectionOptions opt;
+  opt.num_nodes = 3;
+  SelectionContext ctx(*inst.snap);
+  auto first = select_balanced(ctx, opt);
+  for (int i = 0; i < 5; ++i) {
+    auto r = select_balanced(ctx, opt);
+    EXPECT_EQ(r.nodes, first.nodes);
+    EXPECT_DOUBLE_EQ(r.objective, first.objective);
+  }
+  EXPECT_TRUE(ctx.current());
+  EXPECT_EQ(ctx.epoch(), inst.snap->epoch());
+}
+
+}  // namespace
+}  // namespace netsel::select
