@@ -4,24 +4,132 @@
 // unloaded reference column — printed side by side with the paper's
 // measurements, followed by the "slowdown roughly halved" analysis.
 //
-// Usage: bench_table1 [trials] [seed] [--csv]   (defaults: 25, 1999)
+// Usage: bench_table1 [trials] [seed] [--csv] [--threads N] [--bench-json PATH]
+// Defaults: 25 trials, seed 1999, serial execution.
+//   --threads N      run the grid on an N-worker pool (N < 0: one worker per
+//                    hardware thread). Statistics are bit-identical to the
+//                    serial run for every N (deterministic reduction).
+//   --bench-json P   perf mode: time the grid serially and with the pool,
+//                    verify the two produce identical statistics, and write
+//                    a BENCH JSON record (wall clock, trials/sec, speedup)
+//                    to path P. Tables are skipped in this mode.
 // With --csv, the machine-readable grid is appended after the tables.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "exp/report.hpp"
 #include "exp/table1.hpp"
 
+namespace {
+
+using namespace netsel::exp;
+
+double time_grid(Table1Options opt, int threads,
+                 std::vector<MeasuredRow>* out) {
+  opt.threads = threads;
+  auto t0 = std::chrono::steady_clock::now();
+  auto rows = run_table1(opt);
+  auto t1 = std::chrono::steady_clock::now();
+  if (out) *out = std::move(rows);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool identical(const std::vector<MeasuredRow>& a,
+               const std::vector<MeasuredRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].reference != b[r].reference) return false;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const MeasuredCell& x1 = a[r].random_sel[c];
+      const MeasuredCell& y1 = b[r].random_sel[c];
+      const MeasuredCell& x2 = a[r].auto_sel[c];
+      const MeasuredCell& y2 = b[r].auto_sel[c];
+      if (x1.mean != y1.mean || x1.ci95 != y1.ci95 ||
+          x1.trials != y1.trials || x1.failures != y1.failures)
+        return false;
+      if (x2.mean != y2.mean || x2.ci95 != y2.ci95 ||
+          x2.trials != y2.trials || x2.failures != y2.failures)
+        return false;
+    }
+  }
+  return true;
+}
+
+int bench_json(const Table1Options& opt, int threads, const char* path) {
+  unsigned hw = std::thread::hardware_concurrency();
+  int pool_threads = threads != 0 ? threads : -1;
+  int effective = pool_threads < 0 ? static_cast<int>(hw == 0 ? 1 : hw)
+                                   : pool_threads;
+  // 18 measured cells of opt.trials each + 3 single-trial references.
+  const int total_trials = 18 * opt.trials + 3;
+
+  std::fprintf(stderr, "bench_table1: %d trials/cell, seed %llu — serial...\n",
+               opt.trials, static_cast<unsigned long long>(opt.seed));
+  std::vector<MeasuredRow> serial_rows, par_rows;
+  double serial_s = time_grid(opt, 0, &serial_rows);
+  std::fprintf(stderr, "  serial: %.2fs — now %d threads...\n", serial_s,
+               effective);
+  double par_s = time_grid(opt, pool_threads, &par_rows);
+  bool same = identical(serial_rows, par_rows);
+  double speedup = par_s > 0.0 ? serial_s / par_s : 0.0;
+  std::fprintf(stderr, "  %d threads: %.2fs  speedup %.2fx  identical=%s\n",
+               effective, par_s, speedup, same ? "true" : "false");
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"table1\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"grid\": {\n"
+               "    \"apps\": 3,\n"
+               "    \"measured_cells\": 18,\n"
+               "    \"references\": 3,\n"
+               "    \"trials_per_cell\": %d,\n"
+               "    \"total_trials\": %d,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"serial\": { \"seconds\": %.4f, \"trials_per_sec\": %.2f },\n"
+               "  \"parallel\": { \"threads\": %d, \"seconds\": %.4f, "
+               "\"trials_per_sec\": %.2f },\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"identical_stats\": %s\n"
+               "}\n",
+               hw, opt.trials, total_trials,
+               static_cast<unsigned long long>(opt.seed), serial_s,
+               serial_s > 0.0 ? total_trials / serial_s : 0.0, effective,
+               par_s, par_s > 0.0 ? total_trials / par_s : 0.0, speedup,
+               same ? "true" : "false");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+  return same ? 0 : 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace netsel::exp;
   Table1Options opt;
+  opt.trials = 25;
   bool csv = false;
+  const char* json_path = nullptr;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (positional == 0) {
       opt.trials = std::atoi(argv[i]);
       ++positional;
@@ -30,16 +138,18 @@ int main(int argc, char** argv) {
       ++positional;
     }
   }
-  opt.verbose = true;
   if (opt.trials < 1) {
     std::fprintf(stderr, "trials must be >= 1\n");
     return 1;
   }
+  if (json_path) return bench_json(opt, opt.threads, json_path);
 
+  opt.verbose = true;
   std::printf(
       "== Table 1: performance with computation load and network traffic ==\n"
-      "   (%d trials per cell, seed %llu; paper values from PPoPP'99)\n\n",
-      opt.trials, static_cast<unsigned long long>(opt.seed));
+      "   (%d trials per cell, seed %llu, %s; paper values from PPoPP'99)\n\n",
+      opt.trials, static_cast<unsigned long long>(opt.seed),
+      opt.threads == 0 ? "serial" : "thread-pool");
   auto rows = run_table1(opt);
   std::fputs("\n", stdout);
   std::fputs(format_table1(rows).c_str(), stdout);

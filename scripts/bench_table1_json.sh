@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_table1.json: build Release, time the Table-1 grid
+# serially and on the thread pool, verify bit-identical statistics, and
+# write the perf record to the repo root.
+#
+# Usage: scripts/bench_table1_json.sh [trials-per-cell] [threads]
+#   trials-per-cell  default 25 (the EXPERIMENTS.md grid)
+#   threads          default -1 (one worker per hardware thread)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRIALS="${1:-25}"
+THREADS="${2:--1}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$(nproc)" --target bench_table1 >/dev/null
+./build/bench/bench_table1 "$TRIALS" 1999 --threads "$THREADS" \
+  --bench-json BENCH_table1.json
+cat BENCH_table1.json

@@ -7,8 +7,28 @@
 #include "remos/remos.hpp"
 #include "select/context.hpp"
 #include "topo/generators.hpp"
+#include "util/rng.hpp"
 
 namespace netsel::exp {
+
+std::uint64_t trial_seed(std::uint64_t cell_seed, int trial) {
+  // Avalanche the cell seed first so nearby cell seeds decorrelate, then
+  // fold in the trial index through an odd multiplier (bijective mod 2^64)
+  // and avalanche again. trial_seed(s, t) == trial_seed(s + 1, t - 1) only
+  // by 64-bit accident, unlike the additive scheme it replaces.
+  std::uint64_t h = util::SplitMix64(cell_seed).next();
+  h ^= (static_cast<std::uint64_t>(trial) + 1) * 0xbf58476d1ce4e5b9ULL;
+  return util::SplitMix64(h).next();
+}
+
+std::uint64_t cell_seed(std::uint64_t master_seed, std::string_view app,
+                        Policy policy, int condition) {
+  std::uint64_t h = util::SplitMix64(master_seed).next();
+  h = util::SplitMix64(h ^ util::hash_name(app)).next();
+  h = util::SplitMix64(h ^ util::hash_name(policy_name(policy))).next();
+  h = util::SplitMix64(h ^ (static_cast<std::uint64_t>(condition) + 1)).next();
+  return h;
+}
 
 const char* policy_name(Policy p) {
   switch (p) {
@@ -96,14 +116,55 @@ TrialResult run_trial(const AppCase& app, const Scenario& scenario,
   return result;
 }
 
-util::OnlineStats run_cell(const AppCase& app, const Scenario& scenario,
-                           Policy policy, int trials, std::uint64_t seed0) {
-  util::OnlineStats stats;
-  for (int t = 0; t < trials; ++t) {
-    stats.add(run_trial(app, scenario, policy, seed0 + static_cast<std::uint64_t>(t))
-                  .elapsed);
+namespace {
+/// Outcome slot for one trial, written by exactly one job.
+struct TrialSlot {
+  bool ok = false;
+  double elapsed = 0.0;
+  std::string error;
+};
+constexpr std::size_t kMaxFailureNotes = 8;
+}  // namespace
+
+CellResult run_cell(const AppCase& app, const Scenario& scenario,
+                    Policy policy, int trials, std::uint64_t seed0,
+                    util::ThreadPool* pool) {
+  std::vector<TrialSlot> slots(static_cast<std::size_t>(trials));
+  auto one = [&](std::size_t t) {
+    TrialSlot& slot = slots[t];
+    try {
+      slot.elapsed =
+          run_trial(app, scenario, policy, trial_seed(seed0, static_cast<int>(t)))
+              .elapsed;
+      slot.ok = true;
+    } catch (const std::runtime_error& e) {
+      // Expected, data-dependent failures (infeasible selection under the
+      // trial's load, max_sim_time exceeded): degrade the cell, don't kill
+      // the grid. std::logic_error and everything else propagate — via
+      // parallel_for's deterministic lowest-index rethrow when pooled.
+      slot.error = e.what();
+    }
+  };
+  if (pool != nullptr) {
+    util::parallel_for(*pool, slots.size(), one);
+  } else {
+    for (std::size_t t = 0; t < slots.size(); ++t) one(t);
   }
-  return stats;
+
+  // Reduce in trial-index order, never completion order: the statistics are
+  // bit-identical to the serial run for any worker count.
+  CellResult cell;
+  cell.attempted = trials;
+  for (const TrialSlot& slot : slots) {
+    if (slot.ok) {
+      cell.stats.add(slot.elapsed);
+    } else {
+      ++cell.failures;
+      if (cell.failure_notes.size() < kMaxFailureNotes)
+        cell.failure_notes.push_back(slot.error);
+    }
+  }
+  return cell;
 }
 
 AppCase fft_case() { return AppCase{"FFT (1K)", appsim::fft1k()}; }

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
+#include <vector>
 
 #include "appsim/loosely_synchronous.hpp"
 #include "appsim/master_slave.hpp"
@@ -18,6 +20,7 @@
 #include "select/algorithms.hpp"
 #include "topo/graph.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netsel::exp {
 
@@ -63,14 +66,63 @@ struct TrialResult {
   std::vector<topo::NodeId> nodes;
 };
 
+// --- Seeding scheme -------------------------------------------------------
+//
+// Every trial's master seed is derived by hashing, never by offsetting:
+//
+//   cell  = cell_seed(master, app, policy, condition)   SplitMix64 chain
+//   trial = trial_seed(cell, t)                         SplitMix64(mix(cell)
+//                                                         ^ odd-mult(t))
+//
+// The historical scheme (`seed0 + t`, cells offset by `condition * 1000`)
+// meant two cells whose base seeds differed by less than the trial count
+// replayed overlapping trial streams — e.g. cell A's trial 7 was bit-equal
+// to cell B's trial 6. SplitMix64's full-avalanche mix makes the derived
+// seeds for (cell, t) and (cell + 1, t - 1) unrelated, so every (app,
+// policy, condition, trial) tuple sees an independent testbed. Both hops
+// are pure functions of their inputs: the same master seed still
+// reproduces the entire grid bit-for-bit, in any execution order.
+
+/// Seed for trial index `t` of the cell whose base seed is `cell_seed`.
+std::uint64_t trial_seed(std::uint64_t cell_seed, int trial);
+
+/// Base seed for one Table-1 cell: master seed hashed with the application
+/// name, the policy name, and the condition index.
+std::uint64_t cell_seed(std::uint64_t master_seed, std::string_view app,
+                        Policy policy, int condition);
+
 /// Run one trial on a fresh simulated testbed seeded with `seed`.
 TrialResult run_trial(const AppCase& app, const Scenario& scenario,
                       Policy policy, std::uint64_t seed);
 
-/// Run `trials` independent trials (seeds seed0, seed0+1, ...) and return
-/// the execution-time statistics.
-util::OnlineStats run_cell(const AppCase& app, const Scenario& scenario,
-                           Policy policy, int trials, std::uint64_t seed0);
+/// Statistics for one experiment cell plus the per-trial failure record.
+/// A trial that fails for an expected, data-dependent reason (infeasible
+/// selection, `max_sim_time` exceeded) degrades the cell — it is counted
+/// and its note kept — instead of aborting the whole grid; genuine logic
+/// errors still propagate out of run_cell.
+struct CellResult {
+  util::OnlineStats stats;   ///< elapsed-time stats over successful trials
+  int attempted = 0;         ///< trials dispatched
+  int failures = 0;          ///< trials that failed (attempted - stats.count())
+  std::vector<std::string> failure_notes;  ///< first few failure messages
+
+  double mean() const { return stats.mean(); }
+  double stddev() const { return stats.stddev(); }
+  double ci_halfwidth(double level = 0.95) const {
+    return stats.ci_halfwidth(level);
+  }
+  std::size_t count() const { return stats.count(); }
+};
+
+/// Run `trials` independent trials (seeds trial_seed(seed0, t)) and return
+/// the execution-time statistics. With a pool, trials run as independent
+/// jobs; results land in index-addressed slots and are reduced in trial
+/// order, so the statistics are bit-identical to the serial run (pool ==
+/// nullptr) for any worker count. Each trial owns its NetworkSim, Rng and
+/// SelectionContext — nothing is shared across concurrent trials.
+CellResult run_cell(const AppCase& app, const Scenario& scenario,
+                    Policy policy, int trials, std::uint64_t seed0,
+                    util::ThreadPool* pool = nullptr);
 
 /// The three applications of Table 1 on the Fig. 4 testbed.
 AppCase fft_case();

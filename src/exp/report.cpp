@@ -56,7 +56,7 @@ std::string trials_csv(const AppCase& app, const Scenario& scenario,
   }
   topo::TopologyGraph names = topo::testbed();
   for (int t = 0; t < trials; ++t) {
-    std::uint64_t seed = seed0 + static_cast<std::uint64_t>(t);
+    std::uint64_t seed = trial_seed(seed0, t);
     auto result = run_trial(app, scenario, policy, seed);
     std::string joined;
     for (std::size_t i = 0; i < result.nodes.size(); ++i) {

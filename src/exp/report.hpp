@@ -18,7 +18,8 @@ std::string table1_csv(const std::vector<MeasuredRow>& rows);
 
 /// Long-form per-trial CSV for one cell:
 /// app,condition,policy,seed,elapsed_s,nodes (node names joined by '+').
-/// Runs the trials itself (same seeds as run_cell).
+/// Runs the trials itself with the same derived seeds as run_cell
+/// (trial_seed(seed0, t)), so rows match a run_cell over the same inputs.
 std::string trials_csv(const AppCase& app, const Scenario& scenario,
                        Policy policy, int trials, std::uint64_t seed0);
 

@@ -1,9 +1,11 @@
 #include "exp/table1.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netsel::exp {
 
@@ -18,45 +20,72 @@ Scenario condition_scenario(int condition) {
 }
 
 MeasuredCell measure(const AppCase& app, int condition, Policy policy,
-                     const Table1Options& opt) {
-  auto stats = run_cell(app, condition_scenario(condition), policy, opt.trials,
-                        opt.seed + static_cast<std::uint64_t>(condition) * 1000);
+                     const Table1Options& opt, util::ThreadPool* pool) {
+  CellResult result =
+      run_cell(app, condition_scenario(condition), policy, opt.trials,
+               cell_seed(opt.seed, app.name, policy, condition), pool);
   MeasuredCell cell;
-  cell.mean = stats.mean();
-  cell.ci95 = stats.ci_halfwidth(0.95);
-  cell.trials = static_cast<int>(stats.count());
+  cell.mean = result.stats.mean();
+  cell.ci95 = result.stats.ci_halfwidth(0.95);
+  cell.trials = static_cast<int>(result.stats.count());
+  cell.failures = result.failures;
   if (opt.verbose) {
-    std::fprintf(stderr, "  %-9s %-14s %-13s mean=%7.1fs  +-%5.1f (n=%d)\n",
+    std::fprintf(stderr,
+                 "  %-9s %-14s %-13s mean=%7.1fs  +-%5.1f (n=%d%s)\n",
                  app.name.c_str(), policy_name(policy),
                  condition == kLoadOnly      ? "load"
                  : condition == kTrafficOnly ? "traffic"
                                              : "load+traffic",
-                 cell.mean, cell.ci95, cell.trials);
+                 cell.mean, cell.ci95, cell.trials,
+                 cell.failures > 0
+                     ? (", " + std::to_string(cell.failures) + " failed").c_str()
+                     : "");
   }
   return cell;
 }
 }  // namespace
 
 std::vector<MeasuredRow> run_table1(const Table1Options& opt) {
-  std::vector<MeasuredRow> rows;
-  for (const AppCase& app : {fft_case(), airshed_case(), mri_case()}) {
-    MeasuredRow row;
-    row.app = app.name;
-    row.nodes = app.num_nodes();
-    // Unloaded reference: idle testbed, automatic placement, deterministic.
-    row.reference =
-        run_trial(app, table1_scenario(false, false), opt.auto_policy, opt.seed)
-            .elapsed;
-    if (opt.verbose)
-      std::fprintf(stderr, "  %-9s reference (unloaded) = %7.1fs\n",
-                   app.name.c_str(), row.reference);
-    for (int cond = 0; cond < 3; ++cond) {
-      row.random_sel[static_cast<std::size_t>(cond)] =
-          measure(app, cond, opt.baseline_policy, opt);
-      row.auto_sel[static_cast<std::size_t>(cond)] =
-          measure(app, cond, opt.auto_policy, opt);
+  const std::vector<AppCase> apps = {fft_case(), airshed_case(), mri_case()};
+  std::vector<MeasuredRow> rows(apps.size());
+  std::unique_ptr<util::ThreadPool> pool;
+  if (opt.threads != 0) pool = std::make_unique<util::ThreadPool>(opt.threads);
+
+  // Flat task list: per app, the unloaded reference (k == 0) plus the 3x2
+  // condition/policy cells. Each task writes only its own pre-addressed
+  // slot, so tasks run concurrently without ordering effects; seeds are
+  // derived per cell, never from task order.
+  constexpr std::size_t kTasksPerRow = 7;
+  auto run_one = [&](std::size_t j) {
+    std::size_t r = j / kTasksPerRow;
+    int k = static_cast<int>(j % kTasksPerRow);
+    const AppCase& app = apps[r];
+    MeasuredRow& row = rows[r];
+    if (k == 0) {
+      row.app = app.name;
+      row.nodes = app.num_nodes();
+      // Unloaded reference: idle testbed, automatic placement, deterministic.
+      row.reference =
+          run_trial(app, table1_scenario(false, false), opt.auto_policy,
+                    cell_seed(opt.seed, app.name, opt.auto_policy, kReference))
+              .elapsed;
+      if (opt.verbose)
+        std::fprintf(stderr, "  %-9s reference (unloaded) = %7.1fs\n",
+                     app.name.c_str(), row.reference);
+    } else {
+      int cond = (k - 1) / 2;
+      bool is_auto = (k - 1) % 2 != 0;
+      MeasuredCell& slot = is_auto ? row.auto_sel[static_cast<std::size_t>(cond)]
+                                   : row.random_sel[static_cast<std::size_t>(cond)];
+      slot = measure(app, cond, is_auto ? opt.auto_policy : opt.baseline_policy,
+                     opt, pool.get());
     }
-    rows.push_back(std::move(row));
+  };
+  const std::size_t tasks = apps.size() * kTasksPerRow;
+  if (pool) {
+    util::parallel_for(*pool, tasks, run_one);
+  } else {
+    for (std::size_t j = 0; j < tasks; ++j) run_one(j);
   }
   return rows;
 }

@@ -12,8 +12,9 @@
 
 namespace netsel::exp {
 
-/// Condition index within a Table-1 row.
-enum : int { kLoadOnly = 0, kTrafficOnly = 1, kLoadAndTraffic = 2 };
+/// Condition index within a Table-1 row. kReference is not a measured
+/// condition — it tags the unloaded-reference trial for seed derivation.
+enum : int { kLoadOnly = 0, kTrafficOnly = 1, kLoadAndTraffic = 2, kReference = 3 };
 
 /// The paper's measured values (seconds).
 struct PaperRow {
@@ -33,7 +34,8 @@ inline constexpr std::array<PaperRow, 3> kPaperTable1{{
 struct MeasuredCell {
   double mean = 0.0;
   double ci95 = 0.0;
-  int trials = 0;
+  int trials = 0;    ///< successful trials (mean/ci95 computed over these)
+  int failures = 0;  ///< trials that failed and were excluded
 };
 
 struct MeasuredRow {
@@ -49,11 +51,18 @@ struct Table1Options {
   std::uint64_t seed = 1999;
   Policy auto_policy = Policy::AutoBalanced;
   Policy baseline_policy = Policy::Random;
+  /// Worker threads for the grid: 0 runs everything serially on the calling
+  /// thread, < 0 uses one worker per hardware thread, > 0 that many workers.
+  /// The statistics are bit-identical for every setting (see run_cell).
+  int threads = 0;
   /// Print one progress line per cell to stderr.
   bool verbose = false;
 };
 
-/// Run the whole Table-1 experiment grid.
+/// Run the whole Table-1 experiment grid. With threads != 0 the cells are
+/// dispatched as pool jobs and each cell's trials fan out on the same pool;
+/// every result lands in its pre-addressed slot, so the output is
+/// bit-identical to the serial run regardless of worker count.
 std::vector<MeasuredRow> run_table1(const Table1Options& opt = {});
 
 /// Paper-style table: measured values with % change vs random, paper values

@@ -13,8 +13,9 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line (thread-unsafe by design: the simulator is single-threaded;
-/// benches that parallelise do so across processes).
+/// Emit one line. Safe to call from concurrent experiment trials: the level
+/// is an atomic and each line is a single fprintf to stderr (lines from
+/// different threads may interleave in order, never within a line).
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -51,7 +51,10 @@ TEST(TrialsCsv, PerTrialRows) {
   Scenario s = table1_scenario(true, false);
   auto csv = trials_csv(fft_case(), s, Policy::AutoBalanced, 3, 77);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3
-  EXPECT_NE(csv.find("load,auto-balanced,77,"), std::string::npos);
+  // Seeds in the rows are the hashed per-trial derivations, not seed0 + t.
+  EXPECT_NE(csv.find("load,auto-balanced," + std::to_string(trial_seed(77, 0)) +
+                     ","),
+            std::string::npos);
   EXPECT_NE(csv.find("m-"), std::string::npos) << "node names listed";
   // Determinism: same seeds, same csv.
   EXPECT_EQ(csv, trials_csv(fft_case(), s, Policy::AutoBalanced, 3, 77));
