@@ -4,6 +4,15 @@
 
 namespace netsel::api {
 
+const char* degradation_level_name(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::Full: return "full";
+    case DegradationLevel::Smoothed: return "smoothed";
+    case DegradationLevel::Prior: return "prior";
+  }
+  return "?";
+}
+
 int AppSpec::total_nodes() const {
   int t = 0;
   for (const auto& g : groups) t += g.count;

@@ -59,11 +59,27 @@ struct AppSpec {
   void validate() const;
 };
 
+/// How much measured state backed a placement decision. The service walks
+/// this ladder down as measurement coverage drops (see DegradationPolicy):
+/// Full trusts the caller's forecaster; Smoothed re-queries with an
+/// averaging forecaster and a staleness bound so isolated dropped samples
+/// are bridged and stalled sensors answer their fallback; Prior abandons
+/// measurements for the capacity/zero-load prior (every node unloaded,
+/// every link at capacity) — selection still returns a sane, connected
+/// placement instead of throwing or trusting garbage.
+enum class DegradationLevel { Full = 0, Smoothed = 1, Prior = 2 };
+
+const char* degradation_level_name(DegradationLevel level);
+
 /// A completed placement: nodes per group, in group order.
 struct Placement {
   bool feasible = false;
   std::vector<std::vector<topo::NodeId>> group_nodes;
   std::string note;
+  /// Degradation decision taken for the query behind this placement.
+  DegradationLevel degradation = DegradationLevel::Full;
+  /// Fraction of Remos sensors with a fresh sample at query time.
+  double measurement_coverage = 1.0;
 
   /// Flattened placement in group order.
   std::vector<topo::NodeId> flat() const;

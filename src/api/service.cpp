@@ -48,11 +48,54 @@ std::vector<char> group_mask(const topo::TopologyGraph& g,
 
 }  // namespace
 
+remos::NetworkSnapshot NodeSelectionService::degraded_snapshot(
+    const remos::QueryOptions& query, const DegradationPolicy& policy,
+    DegradationLevel& level, remos::QueryQuality& quality) const {
+  if (policy.prior_below > policy.smoothed_below)
+    throw std::invalid_argument(
+        "DegradationPolicy: prior_below must be <= smoothed_below");
+  remos::QueryOptions probe = query;
+  quality = remos::QueryQuality{};
+  probe.quality = &quality;
+  auto snap = remos_->snapshot(probe);
+  if (query.quality) *query.quality = quality;
+
+  double coverage = quality.coverage();
+  level = coverage < policy.prior_below      ? DegradationLevel::Prior
+          : coverage < policy.smoothed_below ? DegradationLevel::Smoothed
+                                             : DegradationLevel::Full;
+  switch (level) {
+    case DegradationLevel::Full:
+      // The probe query *is* the answer: attaching quality never changes
+      // values, so this path is bit-identical to the policy-less service.
+      return snap;
+    case DegradationLevel::Smoothed: {
+      remos::QueryOptions smoothed = query;
+      smoothed.quality = nullptr;
+      smoothed.forecaster = policy.smoothed_forecaster
+                                ? policy.smoothed_forecaster
+                                : std::make_shared<remos::WindowMean>();
+      smoothed.max_sample_age =
+          policy.smoothed_max_age > 0.0
+              ? policy.smoothed_max_age
+              : remos_->monitor().config().history_window;
+      return remos_->snapshot(smoothed);
+    }
+    case DegradationLevel::Prior:
+      // Too little measured state to be worth smoothing: the constructor's
+      // capacity/zero-load prior (cpu 1, links at capacity, memory free).
+      return remos::NetworkSnapshot(remos_->topology());
+  }
+  return snap;
+}
+
 Placement NodeSelectionService::place(const AppSpec& spec,
                                       const ServiceOptions& opt) const {
   spec.validate();
   const auto& g = remos_->topology();
-  auto snap = remos_->snapshot(opt.query);
+  DegradationLevel level = DegradationLevel::Full;
+  remos::QueryQuality quality;
+  auto snap = degraded_snapshot(opt.query, opt.degradation, level, quality);
 
   // Client-server specs with exactly two groups use the pattern-aware
   // extension (§3.4): the higher-priority group is the server side, chosen
@@ -75,6 +118,8 @@ Placement NodeSelectionService::place(const AppSpec& spec,
     cso.client_eligible = group_mask(g, spec.groups[ci], none);
     auto r = select::select_client_server(snap, cso);
     Placement placement;
+    placement.degradation = level;
+    placement.measurement_coverage = quality.coverage();
     placement.group_nodes.resize(2);
     if (!r.feasible) {
       placement.note = r.note;
@@ -97,6 +142,8 @@ Placement NodeSelectionService::place(const AppSpec& spec,
   });
 
   Placement placement;
+  placement.degradation = level;
+  placement.measurement_coverage = quality.coverage();
   placement.group_nodes.resize(spec.groups.size());
   std::vector<char> taken(g.node_count(), 0);
 
@@ -131,10 +178,17 @@ Placement NodeSelectionService::place(const AppSpec& spec,
 
 select::SelectionResult NodeSelectionService::select(
     int m, select::Criterion c, const remos::QueryOptions& q) const {
-  auto snap = remos_->snapshot(q);
+  DegradationLevel level = DegradationLevel::Full;
+  remos::QueryQuality quality;
+  auto snap = degraded_snapshot(q, DegradationPolicy{}, level, quality);
   select::SelectionOptions sel;
   sel.num_nodes = m;
-  return select::select_nodes(c, snap, sel);
+  auto result = select::select_nodes(c, snap, sel);
+  if (level != DegradationLevel::Full) {
+    if (!result.note.empty()) result.note += "; ";
+    result.note += std::string("degraded: ") + degradation_level_name(level);
+  }
+  return result;
 }
 
 }  // namespace netsel::api

@@ -10,11 +10,34 @@
 
 namespace netsel::api {
 
+/// Graceful-degradation policy for selection under partial or stale
+/// measurements. The service probes the snapshot query's QueryQuality and
+/// walks the ladder: coverage >= smoothed_below keeps the caller's query
+/// untouched (Full, bit-identical to the policy-less behaviour);
+/// below it the query is re-run with an averaging forecaster and a
+/// staleness bound (Smoothed); below prior_below the measurements are
+/// abandoned for the capacity/zero-load prior snapshot (Prior). Selection
+/// never throws because of missing measurements at any level.
+struct DegradationPolicy {
+  /// Coverage below this switches to the smoothing forecaster.
+  double smoothed_below = 0.9;
+  /// Coverage below this abandons measurements for the prior snapshot.
+  double prior_below = 0.4;
+  /// Forecaster for the Smoothed level; null -> WindowMean (bridges
+  /// isolated dropped samples and averages out measurement noise).
+  remos::ForecasterPtr smoothed_forecaster;
+  /// Staleness bound applied at the Smoothed level; 0 -> the monitor's
+  /// history window (a sensor silent for a full window answers its
+  /// fallback — the per-sensor prior — instead of replaying old samples).
+  double smoothed_max_age = 0.0;
+};
+
 struct ServiceOptions {
   /// Criterion override; unset -> chosen from the app pattern
   /// (master-slave and loosely-synchronous default to Balanced).
   std::optional<select::Criterion> criterion;
   remos::QueryOptions query;
+  DegradationPolicy degradation;
 };
 
 /// Default criterion for an application pattern.
@@ -26,12 +49,23 @@ class NodeSelectionService {
 
   /// Select nodes for every group of the spec. Groups are placed in
   /// descending placement_priority (stable within equal priority); each
-  /// group sees only nodes not taken by earlier groups.
+  /// group sees only nodes not taken by earlier groups. The degradation
+  /// decision and measurement coverage are recorded on the Placement.
   Placement place(const AppSpec& spec, const ServiceOptions& opt = {}) const;
 
-  /// Single-group convenience: select m nodes for a pattern.
+  /// Single-group convenience: select m nodes for a pattern. Applies the
+  /// same degradation ladder; a degraded selection is annotated in the
+  /// result note.
   select::SelectionResult select(int m, select::Criterion c,
                                  const remos::QueryOptions& q = {}) const;
+
+  /// The degradation ladder itself (shared by place/select, exposed for
+  /// diagnostics): probe query quality, pick the level, and return the
+  /// snapshot selection should run on. `quality` reflects the probe query.
+  remos::NetworkSnapshot degraded_snapshot(const remos::QueryOptions& query,
+                                           const DegradationPolicy& policy,
+                                           DegradationLevel& level,
+                                           remos::QueryQuality& quality) const;
 
  private:
   remos::Remos* remos_;

@@ -1,0 +1,83 @@
+#pragma once
+// Measurement-fault sweep: how does automatic selection hold up when the
+// Remos measurement plane itself degrades? Sweeps fault severity x
+// selection criterion against the random baseline on the Table-1 workload
+// (load + traffic on the Fig. 4 testbed), Table-1-style: mean execution
+// time per cell, slowdown ratio vs random, and how often the service's
+// degradation ladder had to leave the Full level.
+//
+// At severity 0 the grid runs the exact no-fault measurement path: cells
+// are bit-identical to the equivalent run_trial results (asserted in
+// tests and by bench_faults --check).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/appspec.hpp"
+#include "exp/experiment.hpp"
+
+namespace netsel::exp {
+
+/// One fault-sweep trial outcome: execution time plus the degradation
+/// decision the selection service took.
+struct FaultTrialResult {
+  double elapsed = 0.0;
+  std::vector<topo::NodeId> nodes;
+  api::DegradationLevel degradation = api::DegradationLevel::Full;
+  double coverage = 1.0;
+};
+
+/// Run one trial with measurement faults of the given severity injected
+/// into the monitor. Auto policies select through NodeSelectionService
+/// (degradation ladder active); Random ignores measurements, as in
+/// run_trial. Severity 0 builds no injector and reproduces run_trial's
+/// elapsed time bit-for-bit for every policy.
+FaultTrialResult run_fault_trial(const AppCase& app, const Scenario& scenario,
+                                 Policy policy, double severity,
+                                 std::uint64_t seed);
+
+/// Aggregated cell: execution-time stats plus degradation-level counts
+/// over the successful trials.
+struct FaultCell {
+  CellResult cell;
+  int degraded_smoothed = 0;
+  int degraded_prior = 0;
+};
+
+/// One row of the sweep: a severity level, the random baseline and one
+/// auto cell per criterion (parallel to FaultGridOptions::criteria).
+struct FaultRow {
+  double severity = 0.0;
+  FaultCell random;
+  std::vector<FaultCell> autos;
+};
+
+struct FaultGridOptions {
+  int trials = 12;
+  std::uint64_t seed = 2031;
+  std::vector<double> severities = {0.0, 0.2, 0.4, 0.7};
+  std::vector<Policy> criteria = {Policy::AutoBalanced, Policy::AutoCompute,
+                                  Policy::AutoBandwidth};
+  /// Worker threads; 0 serial, < 0 one per hardware thread. Statistics are
+  /// bit-identical for every setting (pre-addressed slots, ordered
+  /// reduction — same scheme as run_table1).
+  int threads = 0;
+  bool verbose = false;
+  /// Application under test (FFT by default: the fastest Table-1 app).
+  AppCase app = fft_case();
+};
+
+/// Run the severity x criterion grid under load + traffic.
+std::vector<FaultRow> run_fault_grid(const FaultGridOptions& opt = {});
+
+/// Render the sweep: per severity, random baseline and per-criterion mean,
+/// auto/random ratio, failure and degradation counts.
+std::string format_fault_grid(const std::vector<FaultRow>& rows,
+                              const FaultGridOptions& opt);
+
+/// Machine-readable grid (one line per cell).
+std::string fault_grid_csv(const std::vector<FaultRow>& rows,
+                           const FaultGridOptions& opt);
+
+}  // namespace netsel::exp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace netsel::remos {
@@ -26,6 +27,25 @@ void TimeSeries::trim(double now) {
 const Sample& TimeSeries::latest() const {
   if (samples_.empty()) throw std::logic_error("TimeSeries: empty");
   return samples_.back();
+}
+
+double TimeSeries::age(double now) const {
+  if (samples_.empty()) return std::numeric_limits<double>::infinity();
+  return now - samples_.back().time;
+}
+
+double Forecaster::estimate_bounded(const TimeSeries& ts, double fallback,
+                                    double now, double max_age) const {
+  if (!(max_age < std::numeric_limits<double>::infinity()))
+    return estimate(ts, fallback);
+  if (!ts.fresh(now, max_age)) return fallback;
+  // Same cutoff as trim(now): strictly older than `now - window` goes.
+  if (ts.samples().front().time >= now - ts.window())
+    return estimate(ts, fallback);
+  TimeSeries live(ts.window());
+  for (const Sample& s : ts.samples())
+    if (s.time >= now - ts.window()) live.record(s.time, s.value);
+  return estimate(live, fallback);
 }
 
 double LastValue::estimate(const TimeSeries& ts, double fallback) const {

@@ -36,6 +36,14 @@ class TimeSeries {
   const std::deque<Sample>& samples() const { return samples_; }
   double window() const { return window_; }
 
+  /// Age of the newest sample at time `now`; +infinity when empty. trim()
+  /// only runs inside record(), so a sensor that goes silent keeps serving
+  /// its old samples as "latest" — age() is how callers tell a live series
+  /// from a stalled one.
+  double age(double now) const;
+  /// True when the newest sample is within `max_age` of `now`.
+  bool fresh(double now, double max_age) const { return age(now) <= max_age; }
+
  private:
   double window_;
   std::deque<Sample> samples_;
@@ -48,6 +56,16 @@ class Forecaster {
   /// Returns `fallback` when the series is empty (monitor not warmed up).
   virtual double estimate(const TimeSeries& ts, double fallback) const = 0;
   virtual std::string name() const = 0;
+
+  /// Age-bounded estimation. estimate() trusts whatever the series holds,
+  /// but a series only trims inside record(): when its sensor goes silent
+  /// the stalled samples would be consumed as current forever. With a
+  /// finite `max_age`, a series whose newest sample is older than `max_age`
+  /// at `now` answers `fallback`, and surviving samples older than the
+  /// series window (relative to `now`, not to the last record) are dropped
+  /// before estimating. `max_age = +infinity` is exactly estimate().
+  double estimate_bounded(const TimeSeries& ts, double fallback, double now,
+                          double max_age) const;
 };
 
 using ForecasterPtr = std::shared_ptr<const Forecaster>;

@@ -11,6 +11,7 @@ Monitor::Monitor(sim::NetworkSim& net, MonitorConfig cfg)
     throw std::invalid_argument("Monitor: poll_interval must be > 0");
   if (cfg_.history_window < cfg_.poll_interval)
     throw std::invalid_argument("Monitor: window must cover >= one poll");
+  cfg_.faults.validate();
   load_hist_.assign(net.topology().node_count(), TimeSeries(cfg_.history_window));
   memory_hist_.assign(net.topology().node_count(),
                       TimeSeries(cfg_.history_window));
@@ -18,6 +19,10 @@ Monitor::Monitor(sim::NetworkSim& net, MonitorConfig cfg)
                     TimeSeries(cfg_.history_window));
   owner_load_hist_.resize(net.topology().node_count());
   owner_link_hist_.resize(net.topology().link_count() * 2);
+  if (cfg_.faults.any())
+    injector_ = std::make_unique<FaultInjector>(
+        cfg_.faults, net.topology().node_count(),
+        net.topology().link_count() * 2);
 }
 
 void Monitor::start() {
@@ -36,6 +41,19 @@ void Monitor::stop() {
 void Monitor::poll_once() {
   double now = net_.sim().now();
   const auto& g = net_.topology();
+
+  if (injector_) {
+    injector_->begin_sweep();
+    if (injector_->sweep_dropped()) {
+      // Poller missed its slot: nothing is recorded anywhere; every history
+      // simply ages by one interval (queries see staler samples).
+      ++sweeps_dropped_;
+      return;
+    }
+  }
+  auto measure = [this](double v) {
+    return injector_ ? injector_->perturb(v) : v;
+  };
 
   // Discover application owners active anywhere on the testbed; once seen,
   // an owner is recorded on every sweep (zeros included) so its series
@@ -64,22 +82,33 @@ void Monitor::poll_once() {
   for (std::size_t i = 0; i < g.node_count(); ++i) {
     auto id = static_cast<topo::NodeId>(i);
     if (!g.is_compute(id)) continue;
+    if (injector_ && injector_->node_down(i)) {
+      // The node's SNMP agent is unreachable: every series it feeds (load,
+      // memory, owner attribution) stalls together this sweep.
+      ++samples_dropped_;
+      continue;
+    }
     const sim::Host& h = net_.host(id);
-    load_hist_[i].record(now, h.load_average());
+    load_hist_[i].record(now, measure(h.load_average()));
     double total_mem = g.node(id).memory_bytes;
-    memory_hist_[i].record(now,
-                           std::max(total_mem - h.memory_in_use(), 0.0));
+    memory_hist_[i].record(
+        now, measure(std::max(total_mem - h.memory_in_use(), 0.0)));
     for (sim::OwnerTag o : seen_owners_)
-      owner_series(owner_load_hist_[i], o).record(now, h.owner_load_average(o));
+      owner_series(owner_load_hist_[i], o)
+          .record(now, measure(h.owner_load_average(o)));
   }
   for (std::size_t l = 0; l < g.link_count(); ++l) {
     auto id = static_cast<topo::LinkId>(l);
     for (bool fwd : {true, false}) {
       std::size_t d = l * 2 + (fwd ? 0 : 1);
-      link_hist_[d].record(now, net_.network().link_used_bw(id, fwd));
+      if (injector_ && injector_->link_down(d)) {
+        ++samples_dropped_;
+        continue;
+      }
+      link_hist_[d].record(now, measure(net_.network().link_used_bw(id, fwd)));
       for (sim::OwnerTag o : seen_owners_)
         owner_series(owner_link_hist_[d], o)
-            .record(now, net_.network().link_used_bw_by(id, fwd, o));
+            .record(now, measure(net_.network().link_used_bw_by(id, fwd, o)));
     }
   }
   ++polls_;
@@ -102,7 +131,10 @@ const TimeSeries* Monitor::owner_link_history(topo::LinkId l, bool forward,
 
 void Monitor::schedule_next() {
   std::uint64_t my_epoch = epoch_;
-  net_.sim().schedule_after(cfg_.poll_interval, [this, my_epoch] {
+  // A late sweep stretches the gap to the next poll; the cadence re-anchors
+  // afterwards, so one slow sweep does not shift every later one.
+  double dt = cfg_.poll_interval + (injector_ ? injector_->draw_delay() : 0.0);
+  net_.sim().schedule_after(dt, [this, my_epoch] {
     if (!running_ || epoch_ != my_epoch) return;
     poll_once();
     schedule_next();

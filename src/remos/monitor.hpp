@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "remos/faults.hpp"
 #include "remos/history.hpp"
 #include "sim/network_sim.hpp"
 
@@ -21,6 +22,10 @@ namespace netsel::remos {
 struct MonitorConfig {
   double poll_interval = 2.0;    ///< seconds between SNMP sweeps
   double history_window = 30.0;  ///< seconds of samples retained
+  /// Measurement-fault processes (dropped sweeps, sensor outages, noise,
+  /// late sweeps). The default plan has no faults: no injector is built and
+  /// the sweep path is bit-identical to the fault-free implementation.
+  FaultPlan faults;
 };
 
 class Monitor {
@@ -53,6 +58,12 @@ class Monitor {
                                        sim::OwnerTag o) const;
 
   std::uint64_t polls_completed() const { return polls_; }
+  /// Sweeps the fault injector dropped wholesale (nothing recorded).
+  std::uint64_t sweeps_dropped() const { return sweeps_dropped_; }
+  /// Individual sensor readings skipped because their sensor was down.
+  std::uint64_t samples_dropped() const { return samples_dropped_; }
+  /// Non-null iff the config's fault plan has any fault process active.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
   const MonitorConfig& config() const { return cfg_; }
   sim::NetworkSim& net() const { return net_; }
 
@@ -61,9 +72,12 @@ class Monitor {
 
   sim::NetworkSim& net_;
   MonitorConfig cfg_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null on the no-fault path
   bool running_ = false;
   std::uint64_t epoch_ = 0;
   std::uint64_t polls_ = 0;
+  std::uint64_t sweeps_dropped_ = 0;
+  std::uint64_t samples_dropped_ = 0;
   /// Indexed by NodeId; unused entries (network nodes) stay empty.
   std::vector<TimeSeries> load_hist_;
   std::vector<TimeSeries> memory_hist_;

@@ -6,25 +6,46 @@
 
 namespace netsel::remos {
 
-namespace {
-/// Snapshot bandwidth floor: selection needs strictly positive availability
-/// so that fully saturated links still order sensibly below lightly used
-/// ones (1 kbps on a >= 1 Mbps link is effectively "unusable").
-constexpr double kBwFloor = 1e3;
-}  // namespace
+void QueryQuality::note(double sample_age, double fresh_horizon) {
+  horizon = fresh_horizon;
+  ++sensors_total;
+  if (sample_age <= fresh_horizon) ++sensors_fresh;
+  newest_age = std::min(newest_age, sample_age);
+  oldest_age = std::max(oldest_age, sample_age);
+}
 
 Remos::Remos(sim::NetworkSim& net, MonitorConfig cfg)
     : net_(net), monitor_(net, cfg) {}
 
+double Remos::freshness_horizon(const QueryOptions& opt) const {
+  return opt.max_sample_age < std::numeric_limits<double>::infinity()
+             ? opt.max_sample_age
+             : monitor_.config().history_window;
+}
+
+double Remos::forecast_sensor(const TimeSeries& ts, double fallback,
+                              const QueryOptions& opt) const {
+  double now = net_.sim().now();
+  if (opt.quality) opt.quality->note(ts.age(now), freshness_horizon(opt));
+  return opt.forecaster->estimate_bounded(ts, fallback, now,
+                                          opt.max_sample_age);
+}
+
+double Remos::forecast_aux(const TimeSeries& ts, double fallback,
+                           const QueryOptions& opt) const {
+  return opt.forecaster->estimate_bounded(ts, fallback, net_.sim().now(),
+                                          opt.max_sample_age);
+}
+
 double Remos::load_average(topo::NodeId n, const QueryOptions& opt) const {
   if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
-  double load = opt.forecaster->estimate(monitor_.load_history(n), 0.0);
+  double load = forecast_sensor(monitor_.load_history(n), 0.0, opt);
   if (opt.exclude_owner != sim::kBackgroundOwner) {
     // Subtract the application's own contribution from the same measurement
     // sweeps (never a live value against a stale total: the series must be
     // time-aligned or the app's own past activity masquerades as load).
     if (const TimeSeries* own = monitor_.owner_load_history(n, opt.exclude_owner))
-      load -= opt.forecaster->estimate(*own, 0.0);
+      load -= forecast_aux(*own, 0.0, opt);
   }
   return std::max(load, 0.0);
 }
@@ -32,11 +53,11 @@ double Remos::load_average(topo::NodeId n, const QueryOptions& opt) const {
 double Remos::forecast_link_used(topo::LinkId l, bool forward,
                                  const QueryOptions& opt) const {
   if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
-  double used = opt.forecaster->estimate(monitor_.link_history(l, forward), 0.0);
+  double used = forecast_sensor(monitor_.link_history(l, forward), 0.0, opt);
   if (opt.exclude_owner != sim::kBackgroundOwner) {
     if (const TimeSeries* own =
             monitor_.owner_link_history(l, forward, opt.exclude_owner))
-      used -= opt.forecaster->estimate(*own, 0.0);
+      used -= forecast_aux(*own, 0.0, opt);
   }
   return std::max(used, 0.0);
 }
@@ -49,15 +70,18 @@ double Remos::path_latency(topo::NodeId src, topo::NodeId dst) const {
 }
 
 NetworkSnapshot Remos::snapshot(const QueryOptions& opt) const {
+  if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
   const auto& g = net_.topology();
   NetworkSnapshot snap(g);
   for (std::size_t i = 0; i < g.node_count(); ++i) {
     auto id = static_cast<topo::NodeId>(i);
     if (!g.is_compute(id)) continue;
     snap.set_loadavg(id, load_average(id, opt));
+    // The memory series rides on the same per-node sensor the load series
+    // already accounted for — bounded, but not double-counted in quality.
     snap.set_free_memory(
-        id, opt.forecaster->estimate(monitor_.memory_history(id),
-                                     g.node(id).memory_bytes));
+        id, forecast_aux(monitor_.memory_history(id), g.node(id).memory_bytes,
+                         opt));
   }
   for (std::size_t l = 0; l < g.link_count(); ++l) {
     auto id = static_cast<topo::LinkId>(l);
@@ -72,6 +96,7 @@ NetworkSnapshot Remos::snapshot(const QueryOptions& opt) const {
 
 double Remos::available_bandwidth(topo::NodeId src, topo::NodeId dst,
                                   const QueryOptions& opt) const {
+  if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
   if (src == dst) return std::numeric_limits<double>::infinity();
   auto nodes = net_.routes().route_nodes(src, dst);
   auto links = net_.routes().route(src, dst);
@@ -88,6 +113,7 @@ double Remos::available_bandwidth(topo::NodeId src, topo::NodeId dst,
 
 double Remos::projected_flow_bandwidth(topo::NodeId src, topo::NodeId dst,
                                        const QueryOptions& opt) const {
+  if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
   if (src == dst) return std::numeric_limits<double>::infinity();
   auto nodes = net_.routes().route_nodes(src, dst);
   auto links = net_.routes().route(src, dst);

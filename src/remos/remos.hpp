@@ -4,6 +4,8 @@
 // accounting for sharing) and the *logical network topology* (the graph plus
 // dynamic load/availability annotations: a NetworkSnapshot).
 
+#include <cstddef>
+#include <limits>
 #include <memory>
 
 #include "remos/history.hpp"
@@ -12,6 +14,38 @@
 #include "sim/network_sim.hpp"
 
 namespace netsel::remos {
+
+/// Snapshot bandwidth floor: selection needs strictly positive availability
+/// so that fully saturated links still order sensibly below lightly used
+/// ones (1 kbps on a >= 1 Mbps link is effectively "unusable").
+inline constexpr double kBwFloor = 1e3;
+
+/// Side-channel describing how well-founded a query answer is: how many of
+/// the consulted sensors (one per compute node's load series, one per link
+/// direction) had a sample within the freshness horizon, and how old the
+/// consulted samples were. Callers use it to tell a fresh answer from a
+/// fallback-dominated guess and degrade deliberately (see
+/// api::DegradationPolicy) instead of trusting stale numbers.
+struct QueryQuality {
+  std::size_t sensors_total = 0;
+  std::size_t sensors_fresh = 0;
+  /// Age of the freshest / stalest newest-sample over consulted sensors;
+  /// +infinity when a sensor has no samples at all (never-polled monitor).
+  double newest_age = std::numeric_limits<double>::infinity();
+  double oldest_age = 0.0;
+  /// Horizon used to classify fresh vs stale (seconds).
+  double horizon = 0.0;
+
+  /// Fraction of consulted sensors with a fresh sample; 1 when none were
+  /// consulted (a query that needed no measurements is not degraded).
+  double coverage() const {
+    return sensors_total == 0
+               ? 1.0
+               : static_cast<double>(sensors_fresh) /
+                     static_cast<double>(sensors_total);
+  }
+  void note(double sample_age, double fresh_horizon);
+};
 
 struct QueryOptions {
   /// Forecaster applied to measurement histories; the paper "simply uses
@@ -22,6 +56,14 @@ struct QueryOptions {
   /// "the load and traffic caused by the application itself must be
   /// captured separately as it is not due to a competing process."
   sim::OwnerTag exclude_owner = sim::kBackgroundOwner;
+  /// Staleness bound: series whose newest sample is older than this at
+  /// query time answer the forecaster fallback instead of replaying old
+  /// samples (see Forecaster::estimate_bounded). The +infinity default is
+  /// the historical behaviour, bit-identical.
+  double max_sample_age = std::numeric_limits<double>::infinity();
+  /// When non-null, filled with the freshness/coverage accounting of the
+  /// query. Purely observational: attaching it never changes an answer.
+  QueryQuality* quality = nullptr;
 };
 
 class Remos {
@@ -75,6 +117,17 @@ class Remos {
   /// counters cannot attribute bytes to applications).
   double forecast_link_used(topo::LinkId l, bool forward,
                             const QueryOptions& opt) const;
+  /// Age-bounded estimate over one primary sensor series, accounting it
+  /// into opt.quality (when attached).
+  double forecast_sensor(const TimeSeries& ts, double fallback,
+                         const QueryOptions& opt) const;
+  /// Same, for auxiliary series (owner attribution, memory) that ride on a
+  /// sensor already accounted: bounded, but not counted in quality.
+  double forecast_aux(const TimeSeries& ts, double fallback,
+                      const QueryOptions& opt) const;
+  /// Freshness horizon for quality accounting: max_sample_age when finite,
+  /// otherwise the monitor's history window.
+  double freshness_horizon(const QueryOptions& opt) const;
 
   sim::NetworkSim& net_;
   Monitor monitor_;

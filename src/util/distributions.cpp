@@ -1,6 +1,7 @@
 #include "util/distributions.hpp"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 

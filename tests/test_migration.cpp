@@ -180,6 +180,19 @@ TEST_F(ControllerFixture, PolicyValidation) {
   EXPECT_THROW(MigrationController(remos, app, bad), std::invalid_argument);
 }
 
+TEST_F(ControllerFixture, DoubleStartIsNoOp) {
+  remos.start();
+  appsim::LooselySynchronousApp app(net, long_job(2, 100));
+  app.start({host("m-1"), host("m-2")});
+  MigrationPolicy policy;
+  policy.check_interval = 5.0;
+  MigrationController ctl(remos, app, policy);
+  ctl.start();
+  ctl.start();  // must not schedule a second check chain
+  net.sim().run_until(21.0);
+  EXPECT_EQ(ctl.checks_performed(), 4);  // t = 5, 10, 15, 20 and nothing else
+}
+
 TEST_F(ControllerFixture, StopHaltsChecks) {
   remos.start();
   appsim::LooselySynchronousApp app(net, long_job(2, 100));

@@ -97,7 +97,7 @@ TEST_F(Fixture, ExclusionIsTimeAligned) {
   // idle. A live-value exclusion would subtract ~0 and leave the app's own
   // burst in the measurement; the aligned exclusion removes it fully.
   sim::OwnerTag app = net.new_owner();
-  Remos remos(net, MonitorConfig{10.0, 60.0});
+  Remos remos(net, MonitorConfig{10.0, 60.0, {}});
   remos.start();
   // App traffic burst covering the t=10 poll, gone by t=12.
   net.sim().schedule_at(9.0, [&] {

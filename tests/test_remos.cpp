@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "load/traffic_generator.hpp"
 #include "topo/generators.hpp"
 
@@ -27,6 +30,42 @@ TEST(TimeSeriesTest, RejectsOutOfOrder) {
 TEST(TimeSeriesTest, LatestOnEmptyThrows) {
   TimeSeries ts(10.0);
   EXPECT_THROW(ts.latest(), std::logic_error);
+}
+
+TEST(TimeSeriesTest, AgeAndFreshness) {
+  TimeSeries ts(10.0);
+  EXPECT_TRUE(std::isinf(ts.age(5.0)));
+  EXPECT_FALSE(ts.fresh(5.0, 100.0));
+  ts.record(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(ts.age(7.0), 2.0);
+  EXPECT_TRUE(ts.fresh(7.0, 2.0));
+  EXPECT_FALSE(ts.fresh(7.0, 1.9));
+}
+
+TEST(Forecasters, EstimateBoundedFallsBackWhenStale) {
+  // Regression: trim() only runs inside record(), so a sensor that goes
+  // silent keeps serving its stalled samples to estimate() forever. The
+  // bounded variant must answer the fallback instead once the newest
+  // sample exceeds max_age.
+  TimeSeries ts(10.0);
+  for (double t = 0.0; t <= 4.0; t += 1.0) ts.record(t, 8.0);
+  LastValue f;
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.25), 8.0);  // stalled but trusted
+  EXPECT_DOUBLE_EQ(f.estimate_bounded(ts, 0.25, 20.0, 5.0), 0.25);
+  // An infinite bound is exactly estimate().
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(f.estimate_bounded(ts, 0.25, 20.0, inf), 8.0);
+}
+
+TEST(Forecasters, EstimateBoundedDropsOutOfWindowSamples) {
+  // Fresh series, but the oldest retained sample predates now - window
+  // (no record() has trimmed it): the bounded estimate must ignore it.
+  TimeSeries ts(10.0);
+  ts.record(0.0, 100.0);
+  ts.record(9.0, 2.0);
+  WindowMean f;
+  EXPECT_DOUBLE_EQ(f.estimate(ts, 0.0), 51.0);  // raw mean sees both
+  EXPECT_DOUBLE_EQ(f.estimate_bounded(ts, 0.0, 12.0, 5.0), 2.0);
 }
 
 TEST(Forecasters, LastValue) {
@@ -68,7 +107,7 @@ struct RemosFixture : ::testing::Test {
 };
 
 TEST_F(RemosFixture, MonitorPollsOnSchedule) {
-  Remos remos(net, MonitorConfig{2.0, 30.0});
+  Remos remos(net, MonitorConfig{2.0, 30.0, {}});
   remos.start();
   net.sim().run_until(10.0);
   // Polls at 0, 2, 4, 6, 8, 10.
@@ -77,7 +116,7 @@ TEST_F(RemosFixture, MonitorPollsOnSchedule) {
 }
 
 TEST_F(RemosFixture, MonitorStopHaltsPolling) {
-  Remos remos(net, MonitorConfig{2.0, 30.0});
+  Remos remos(net, MonitorConfig{2.0, 30.0, {}});
   remos.start();
   net.sim().run_until(10.0);
   remos.monitor().stop();
@@ -129,7 +168,7 @@ TEST_F(RemosFixture, SnapshotSeesLinkTraffic) {
 TEST_F(RemosFixture, MeasurementsAreStaleNotLive) {
   // A flow started between polls is invisible until the next sweep — Remos
   // reports measurements, not ground truth.
-  Remos remos(net, MonitorConfig{10.0, 60.0});
+  Remos remos(net, MonitorConfig{10.0, 60.0, {}});
   remos.start();                 // poll at t=0 (idle)
   net.sim().run_until(2.0);
   net.network().start_flow(m1, m13, 1e12, sim::kBackgroundOwner);
@@ -214,8 +253,130 @@ TEST_F(RemosFixture, SnapshotHelpers) {
 }
 
 TEST_F(RemosFixture, MonitorConfigValidation) {
-  EXPECT_THROW(Monitor(net, MonitorConfig{0.0, 30.0}), std::invalid_argument);
-  EXPECT_THROW(Monitor(net, MonitorConfig{5.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Monitor(net, MonitorConfig{0.0, 30.0, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(Monitor(net, MonitorConfig{5.0, 2.0, {}}),
+               std::invalid_argument);
+}
+
+TEST_F(RemosFixture, MonitorDoubleStartIsNoOp) {
+  Remos remos(net, MonitorConfig{2.0, 30.0, {}});
+  remos.start();
+  net.sim().run_until(10.0);
+  remos.start();  // must not re-poll or double the cadence
+  net.sim().run_until(20.0);
+  // On-time polls at t = 0, 2, ..., 20 and nothing else.
+  EXPECT_EQ(remos.monitor().polls_completed(), 11u);
+  EXPECT_EQ(remos.monitor().load_history(m1).size(), 11u);
+}
+
+TEST_F(RemosFixture, NullForecasterRejectedEverywhere) {
+  Remos remos(net);
+  remos.start();
+  net.sim().run_until(2.0);
+  QueryOptions q;
+  q.forecaster = nullptr;
+  EXPECT_THROW(remos.snapshot(q), std::invalid_argument);
+  EXPECT_THROW(remos.load_average(m1, q), std::invalid_argument);
+  EXPECT_THROW(remos.available_bandwidth(m1, m2, q), std::invalid_argument);
+  EXPECT_THROW(remos.projected_flow_bandwidth(m1, m2, q),
+               std::invalid_argument);
+  // Regression: the src == dst shortcut used to bypass validation.
+  EXPECT_THROW(remos.available_bandwidth(m1, m1, q), std::invalid_argument);
+  EXPECT_THROW(remos.projected_flow_bandwidth(m1, m1, q),
+               std::invalid_argument);
+}
+
+TEST_F(RemosFixture, QueryQualityCountsSensors) {
+  Remos remos(net);
+  remos.start();
+  net.sim().run_until(10.0);
+  QueryQuality quality;
+  QueryOptions q;
+  q.quality = &quality;
+  auto warm = remos.snapshot(q);
+  // One sensor per compute node's load series, one per link direction.
+  EXPECT_EQ(quality.sensors_total, net.topology().compute_node_count() +
+                                       2 * net.topology().link_count());
+  EXPECT_EQ(quality.sensors_fresh, quality.sensors_total);
+  EXPECT_DOUBLE_EQ(quality.coverage(), 1.0);
+  // Default horizon is the monitor's history window.
+  EXPECT_DOUBLE_EQ(quality.horizon, remos.monitor().config().history_window);
+  EXPECT_LE(quality.oldest_age, quality.horizon);
+
+  // Attaching quality is purely observational: answers are unchanged.
+  auto plain = remos.snapshot();
+  EXPECT_DOUBLE_EQ(warm.cpu(m1), plain.cpu(m1));
+  EXPECT_DOUBLE_EQ(warm.bw(0), plain.bw(0));
+}
+
+TEST_F(RemosFixture, QueryQualityFlagsStaleSensors) {
+  Remos remos(net, MonitorConfig{2.0, 30.0, {}});
+  remos.start();
+  net.sim().run_until(10.0);
+  remos.monitor().stop();
+  net.sim().run_until(60.0);  // newest sample 50 s old, window 30 s
+  QueryQuality quality;
+  QueryOptions q;
+  q.quality = &quality;
+  auto snap = remos.snapshot(q);
+  EXPECT_EQ(quality.sensors_fresh, 0u);
+  EXPECT_DOUBLE_EQ(quality.coverage(), 0.0);
+  EXPECT_GT(quality.newest_age, 30.0);
+  // But with the default infinite max_sample_age the answer itself still
+  // consumes the stalled samples — bit-identical historical behaviour.
+  EXPECT_DOUBLE_EQ(snap.cpu(m1), 1.0);
+}
+
+TEST_F(RemosFixture, MaxSampleAgeBoundsAnswers) {
+  Remos remos(net, MonitorConfig{2.0, 30.0, {}});
+  net.network().start_flow(m1, m13, 1e12, sim::kBackgroundOwner);
+  remos.start();
+  net.sim().run_until(4.0);
+  remos.monitor().stop();
+  net.sim().run_until(50.0);
+  auto links = net.routes().route(m1, m13);
+
+  QueryOptions stale;  // default: trust the stalled measurement forever
+  auto seen = remos.snapshot(stale);
+  EXPECT_LT(seen.bw(links[0]), seen.maxbw(links[0]) * 0.05 + 1e4);
+
+  QueryOptions bounded;
+  bounded.max_sample_age = 5.0;  // newest sample is ~46 s old
+  auto fallback = remos.snapshot(bounded);
+  EXPECT_DOUBLE_EQ(fallback.bw(links[0]), fallback.maxbw(links[0]));
+  EXPECT_DOUBLE_EQ(fallback.cpu(m1), 1.0);
+}
+
+TEST_F(RemosFixture, SaturatedLinkFloorsAtKBwFloor) {
+  Remos remos(net);
+  net.network().start_flow(m1, m2, 1e12, sim::kBackgroundOwner);
+  remos.start();
+  net.sim().run_until(4.0);
+  auto snap = remos.snapshot();
+  // The flow consumes m-1's entire uplink; the snapshot reports the public
+  // floor, not zero, so selection can still order saturated links.
+  auto links = net.routes().route(m1, m2);
+  EXPECT_DOUBLE_EQ(snap.bw(links[0]), kBwFloor);
+}
+
+TEST_F(RemosFixture, OwnerExclusionClampsToZero) {
+  // A trend forecaster can extrapolate the *total* below the owner's own
+  // steady contribution (declining background, steady owner): the excluded
+  // load must clamp at zero, never go negative.
+  sim::OwnerTag app = net.new_owner();
+  net.host(m1).submit(1e12, app);  // owner busy for the whole test
+  net.host(m1).submit(1.0, sim::kBackgroundOwner);  // finishes immediately
+  Remos remos(net, MonitorConfig{2.0, 30.0, {}});
+  net.sim().run_until(5.0);  // let background load start decaying
+  remos.start();
+  net.sim().run_until(40.0);
+  QueryOptions q;
+  q.exclude_owner = app;
+  q.forecaster = std::make_shared<LinearTrend>(600.0);
+  double load = remos.load_average(m1, q);
+  EXPECT_GE(load, 0.0);
+  EXPECT_DOUBLE_EQ(load, 0.0);
 }
 
 }  // namespace

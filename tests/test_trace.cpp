@@ -19,6 +19,17 @@ TEST(Trace, SamplesOnSchedule) {
   EXPECT_DOUBLE_EQ(trace.time_of(4), 20.0);
 }
 
+TEST(Trace, DoubleStartIsNoOp) {
+  NetworkSim net(topo::star(3));
+  TraceRecorder trace(net, TraceConfig{5.0, true, true});
+  trace.start();
+  net.sim().run_until(10.0);
+  trace.start();  // must not re-sample or double the cadence
+  net.sim().run_until(30.0);
+  EXPECT_EQ(trace.samples(), 7u);  // t = 0, 5, ..., 30 and nothing else
+  EXPECT_DOUBLE_EQ(trace.time_of(6), 30.0);
+}
+
 TEST(Trace, ColumnsMatchTopology) {
   NetworkSim net(topo::star(3));
   TraceRecorder trace(net);
