@@ -5,14 +5,19 @@
 // measurements, followed by the "slowdown roughly halved" analysis.
 //
 // Usage: bench_table1 [trials] [seed] [--csv] [--threads N] [--bench-json PATH]
+//                     [--metrics-json PATH] [--chrome-trace PATH]
 // Defaults: 25 trials, seed 1999, serial execution.
 //   --threads N      run the grid on an N-worker pool (N < 0: one worker per
 //                    hardware thread). Statistics are bit-identical to the
 //                    serial run for every N (deterministic reduction).
 //   --bench-json P   perf mode: time the grid serially and with the pool,
 //                    verify the two produce identical statistics, and write
-//                    a BENCH JSON record (wall clock, trials/sec, speedup)
-//                    to path P. Tables are skipped in this mode.
+//                    a BENCH JSON record (wall clock, trials/sec, speedup,
+//                    headline obs counters) to path P. Tables are skipped.
+//   --metrics-json P enable the obs registry and write its JSON document
+//                    (schema netsel-metrics-v1) to P after the run.
+//   --chrome-trace P enable the obs registry and write the recorded spans
+//                    as Chrome trace_event JSON to P (load in Perfetto).
 // With --csv, the machine-readable grid is appended after the tables.
 
 #include <chrono>
@@ -20,15 +25,54 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
 #include <vector>
 
+#include "api/service.hpp"
 #include "exp/report.hpp"
 #include "exp/table1.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
 using namespace netsel::exp;
+
+std::uint64_t counter_value(const char* name) {
+  for (const auto& [n, v] : netsel::obs::Registry::global().counters())
+    if (n == name) return v;
+  return 0;
+}
+
+/// Write the requested obs exports; returns false when a path was not
+/// writable. Pre-registers the service metrics so the document always lists
+/// the degradation-ladder counters, even for runs that never placed.
+bool write_obs_exports(const char* metrics_path, const char* trace_path) {
+  netsel::api::register_service_metrics();
+  bool ok = true;
+  if (metrics_path) {
+    std::ofstream f(metrics_path);
+    if (f) {
+      netsel::obs::write_json(netsel::obs::Registry::global(), f);
+      std::fprintf(stderr, "wrote %s\n", metrics_path);
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+      ok = false;
+    }
+  }
+  if (trace_path) {
+    std::ofstream f(trace_path);
+    if (f) {
+      netsel::obs::write_chrome_trace(netsel::obs::Registry::global(), f);
+      std::fprintf(stderr, "wrote %s\n", trace_path);
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 double time_grid(Table1Options opt, int threads,
                  std::vector<MeasuredRow>* out) {
@@ -61,7 +105,8 @@ bool identical(const std::vector<MeasuredRow>& a,
   return true;
 }
 
-int bench_json(const Table1Options& opt, int threads, const char* path) {
+int bench_json(const Table1Options& opt, int threads, const char* path,
+               const char* metrics_path, const char* trace_path) {
   unsigned hw = std::thread::hardware_concurrency();
   int pool_threads = threads != 0 ? threads : -1;
   int effective = pool_threads < 0 ? static_cast<int>(hw == 0 ? 1 : hw)
@@ -69,17 +114,36 @@ int bench_json(const Table1Options& opt, int threads, const char* path) {
   // 18 measured cells of opt.trials each + 3 single-trial references.
   const int total_trials = 18 * opt.trials + 3;
 
+  // Perf mode always runs instrumented: the headline counters (cache hit
+  // rate, pool steals, events/sec) ride along in the BENCH record. The obs
+  // layer is observational by contract, so the timings stay honest.
+  netsel::obs::set_enabled(true);
+  netsel::obs::Registry::global().reset();
+
   std::fprintf(stderr, "bench_table1: %d trials/cell, seed %llu — serial...\n",
                opt.trials, static_cast<unsigned long long>(opt.seed));
   std::vector<MeasuredRow> serial_rows, par_rows;
   double serial_s = time_grid(opt, 0, &serial_rows);
   std::fprintf(stderr, "  serial: %.2fs — now %d threads...\n", serial_s,
                effective);
+  // Reset between runs so the exported metrics describe the parallel run
+  // alone (otherwise pool counters would sit next to serial-run cache ones).
+  netsel::obs::Registry::global().reset();
   double par_s = time_grid(opt, pool_threads, &par_rows);
   bool same = identical(serial_rows, par_rows);
   double speedup = par_s > 0.0 ? serial_s / par_s : 0.0;
   std::fprintf(stderr, "  %d threads: %.2fs  speedup %.2fx  identical=%s\n",
                effective, par_s, speedup, same ? "true" : "false");
+
+  std::uint64_t row_hits = counter_value("select.ctx.row_hits");
+  std::uint64_t row_misses = counter_value("select.ctx.row_misses");
+  double hit_rate = row_hits + row_misses > 0
+                        ? static_cast<double>(row_hits) /
+                              static_cast<double>(row_hits + row_misses)
+                        : 0.0;
+  std::uint64_t tasks_run = counter_value("pool.tasks_run");
+  std::uint64_t steals = counter_value("pool.steals");
+  std::uint64_t sim_events = counter_value("sim.events");
 
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -102,15 +166,31 @@ int bench_json(const Table1Options& opt, int threads, const char* path) {
                "  \"parallel\": { \"threads\": %d, \"seconds\": %.4f, "
                "\"trials_per_sec\": %.2f },\n"
                "  \"speedup\": %.3f,\n"
-               "  \"identical_stats\": %s\n"
+               "  \"identical_stats\": %s,\n"
+               "  \"metrics\": {\n"
+               "    \"ctx_row_hits\": %llu,\n"
+               "    \"ctx_row_misses\": %llu,\n"
+               "    \"ctx_row_hit_rate\": %.4f,\n"
+               "    \"pool_tasks_run\": %llu,\n"
+               "    \"pool_steals\": %llu,\n"
+               "    \"sim_events\": %llu,\n"
+               "    \"sim_events_per_sec\": %.0f\n"
+               "  }\n"
                "}\n",
                hw, opt.trials, total_trials,
                static_cast<unsigned long long>(opt.seed), serial_s,
                serial_s > 0.0 ? total_trials / serial_s : 0.0, effective,
                par_s, par_s > 0.0 ? total_trials / par_s : 0.0, speedup,
-               same ? "true" : "false");
+               same ? "true" : "false",
+               static_cast<unsigned long long>(row_hits),
+               static_cast<unsigned long long>(row_misses), hit_rate,
+               static_cast<unsigned long long>(tasks_run),
+               static_cast<unsigned long long>(steals),
+               static_cast<unsigned long long>(sim_events),
+               par_s > 0.0 ? static_cast<double>(sim_events) / par_s : 0.0);
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
+  if (!write_obs_exports(metrics_path, trace_path)) return 1;
   return same ? 0 : 2;
 }
 
@@ -122,6 +202,8 @@ int main(int argc, char** argv) {
   opt.trials = 25;
   bool csv = false;
   const char* json_path = nullptr;
+  const char* metrics_path = nullptr;
+  const char* trace_path = nullptr;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
@@ -130,6 +212,10 @@ int main(int argc, char** argv) {
       opt.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (positional == 0) {
       opt.trials = std::atoi(argv[i]);
       ++positional;
@@ -142,7 +228,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trials must be >= 1\n");
     return 1;
   }
-  if (json_path) return bench_json(opt, opt.threads, json_path);
+  if (json_path)
+    return bench_json(opt, opt.threads, json_path, metrics_path, trace_path);
+  if (metrics_path || trace_path) netsel::obs::set_enabled(true);
 
   opt.verbose = true;
   std::printf(
@@ -159,5 +247,6 @@ int main(int argc, char** argv) {
     std::fputs("\n-- csv --\n", stdout);
     std::fputs(table1_csv(rows).c_str(), stdout);
   }
+  if (!write_obs_exports(metrics_path, trace_path)) return 1;
   return 0;
 }

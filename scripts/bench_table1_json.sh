@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_table1.json: build Release, time the Table-1 grid
 # serially and on the thread pool, verify bit-identical statistics, and
-# write the perf record to the repo root.
+# write the perf record to the repo root. The record's "metrics" section
+# carries the headline obs counters of the parallel run (SelectionContext
+# row-cache hit rate, pool tasks/steals, simulator events/sec); the full
+# metrics document and Chrome trace land next to it for inspection
+# (metrics_table1.json, trace_table1.json — load the latter in Perfetto).
 #
 # Usage: scripts/bench_table1_json.sh [trials-per-cell] [threads]
 #   trials-per-cell  default 25 (the EXPERIMENTS.md grid)
@@ -15,5 +19,7 @@ THREADS="${2:--1}"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$(nproc)" --target bench_table1 >/dev/null
 ./build/bench/bench_table1 "$TRIALS" 1999 --threads "$THREADS" \
-  --bench-json BENCH_table1.json
+  --bench-json BENCH_table1.json \
+  --metrics-json metrics_table1.json --chrome-trace trace_table1.json
+python3 scripts/check_metrics_json.py metrics_table1.json trace_table1.json
 cat BENCH_table1.json

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Schema check for the obs metrics JSON document (and optionally a Chrome
+trace) written by `bench_table1 --metrics-json` / `bench_faults
+--metrics-json`.
+
+Usage: check_metrics_json.py METRICS_JSON [CHROME_TRACE_JSON]
+
+Exits non-zero with a message on the first violation. Used by CI after the
+bench smoke runs, and by scripts/bench_table1_json.sh.
+"""
+
+import json
+import sys
+
+SCHEMA = "netsel-metrics-v1"
+
+# Counters every instrumented Table-1 run must register (values may be 0 —
+# e.g. the degradation counters are pre-registered by the bench even when no
+# placement ran through the service).
+REQUIRED_COUNTERS = [
+    "select.ctx.row_hits",
+    "select.ctx.row_misses",
+    "api.degradation.full",
+    "api.degradation.smoothed",
+    "api.degradation.prior",
+    "pool.tasks_run",
+    "pool.steals",
+    "sim.events",
+    "exp.trials",
+]
+
+REQUIRED_HISTOGRAMS = [
+    "exp.cell_s",
+    "select.latency_s.balanced",
+]
+
+
+def fail(msg):
+    print(f"check_metrics_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: 'counters' missing or not an object")
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            fail(f"{path}: required counter {name!r} missing")
+        if not isinstance(counters[name], int) or counters[name] < 0:
+            fail(f"{path}: counter {name!r} is not a non-negative integer")
+
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        fail(f"{path}: 'histograms' missing or not an object")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in hists:
+            fail(f"{path}: required histogram {name!r} missing")
+    for name, h in hists.items():
+        bounds, counts = h.get("bounds"), h.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(f"{path}: histogram {name!r} lacks bounds/counts lists")
+        if len(counts) != len(bounds) + 1:
+            fail(
+                f"{path}: histogram {name!r}: len(counts)={len(counts)} "
+                f"!= len(bounds)+1={len(bounds) + 1}"
+            )
+        if bounds != sorted(bounds):
+            fail(f"{path}: histogram {name!r}: bounds not ascending")
+        if h.get("count") != sum(counts):
+            fail(
+                f"{path}: histogram {name!r}: count={h.get('count')} "
+                f"!= sum(counts)={sum(counts)}"
+            )
+
+    if not isinstance(doc.get("spans"), int):
+        fail(f"{path}: 'spans' missing or not an integer")
+    print(
+        f"check_metrics_json: {path}: OK "
+        f"({len(counters)} counters, {len(hists)} histograms, "
+        f"{doc['spans']} spans)"
+    )
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' missing, not a list, or empty")
+    complete = 0
+    for ev in events:
+        if "ph" not in ev or "name" not in ev:
+            fail(f"{path}: event without ph/name: {ev!r}")
+        if ev["ph"] == "X":
+            complete += 1
+            for key in ("ts", "dur", "pid", "tid"):
+                if key not in ev:
+                    fail(f"{path}: complete event missing {key!r}: {ev!r}")
+    if complete == 0:
+        fail(f"{path}: no complete ('ph':'X') events recorded")
+    print(f"check_metrics_json: {path}: OK ({complete} complete events)")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_metrics(argv[1])
+    if len(argv) == 3:
+        check_trace(argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

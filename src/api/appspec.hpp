@@ -71,6 +71,24 @@ enum class DegradationLevel { Full = 0, Smoothed = 1, Prior = 2 };
 
 const char* degradation_level_name(DegradationLevel level);
 
+/// Per-group diagnostics behind a placement decision (the "explain" data):
+/// what the group could have run on, what it got, and the achieved figures
+/// of merit. Purely observational — callers that ignore it see exactly the
+/// placement they always did.
+struct GroupPlacementInfo {
+  std::string group;                 ///< group name from the AppSpec
+  std::vector<topo::NodeId> nodes;   ///< chosen nodes, selection order
+  std::size_t candidates = 0;        ///< eligible nodes the group saw
+  /// Achieved figures: minimum fractional cpu and minimum fractional
+  /// pairwise bandwidth over the chosen set, plus the bottleneck pairwise
+  /// bandwidth in bits/second and the criterion value maximised.
+  double min_cpu = 0.0;
+  double min_bw_fraction = 0.0;
+  double min_pair_bw = 0.0;
+  double objective = 0.0;
+  std::string note;  ///< algorithm note (e.g. infeasibility reason)
+};
+
 /// A completed placement: nodes per group, in group order.
 struct Placement {
   bool feasible = false;
@@ -80,9 +98,24 @@ struct Placement {
   DegradationLevel degradation = DegradationLevel::Full;
   /// Fraction of Remos sensors with a fresh sample at query time.
   double measurement_coverage = 1.0;
+  /// Explain data: application name, criterion used ("client-server" for
+  /// the pattern-aware two-group path), why the degradation rung was
+  /// chosen, and per-group diagnostics in group order.
+  std::string app;
+  std::string criterion;
+  std::string degradation_reason;
+  /// Priorities the spec placed with (needed to show the binding term).
+  double cpu_priority = 1.0;
+  double bw_priority = 1.0;
+  std::vector<GroupPlacementInfo> groups;
 
   /// Flattened placement in group order.
   std::vector<topo::NodeId> flat() const;
 };
+
+/// Render a human-readable report of a placement decision: chosen nodes by
+/// name, per-group achieved figures with the binding term (the smaller of
+/// cpu/kc and bw-fraction/kb) marked, and the degradation-ladder reasoning.
+std::string explain_report(const Placement& p, const topo::TopologyGraph& g);
 
 }  // namespace netsel::api

@@ -1,12 +1,82 @@
 #include "api/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "select/context.hpp"
+#include "select/objective.hpp"
 #include "select/patterns.hpp"
 
 namespace netsel::api {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter& placements;
+  obs::Counter& placements_infeasible;
+  obs::Counter& degradation_full;
+  obs::Counter& degradation_smoothed;
+  obs::Counter& degradation_prior;
+  obs::Histogram& candidate_set_size;
+
+  obs::Counter& degradation(DegradationLevel level) {
+    switch (level) {
+      case DegradationLevel::Full: return degradation_full;
+      case DegradationLevel::Smoothed: return degradation_smoothed;
+      case DegradationLevel::Prior: return degradation_prior;
+    }
+    return degradation_full;
+  }
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m{
+      obs::Registry::global().counter("api.placements"),
+      obs::Registry::global().counter("api.placements_infeasible"),
+      obs::Registry::global().counter("api.degradation.full"),
+      obs::Registry::global().counter("api.degradation.smoothed"),
+      obs::Registry::global().counter("api.degradation.prior"),
+      obs::Registry::global().histogram("api.candidate_set_size",
+                                        obs::linear_buckets(2.0, 2.0, 16)),
+  };
+  return m;
+}
+
+std::string coverage_reason(double coverage, DegradationLevel level,
+                            const DegradationPolicy& policy) {
+  char buf[160];
+  switch (level) {
+    case DegradationLevel::Full:
+      std::snprintf(buf, sizeof(buf),
+                    "coverage %.2f >= smoothed_below %.2f -> measured "
+                    "snapshot",
+                    coverage, policy.smoothed_below);
+      break;
+    case DegradationLevel::Smoothed:
+      std::snprintf(buf, sizeof(buf),
+                    "coverage %.2f < smoothed_below %.2f -> smoothed "
+                    "forecaster",
+                    coverage, policy.smoothed_below);
+      break;
+    case DegradationLevel::Prior:
+      std::snprintf(buf, sizeof(buf),
+                    "coverage %.2f < prior_below %.2f -> capacity prior",
+                    coverage, policy.prior_below);
+      break;
+  }
+  return buf;
+}
+
+std::size_t mask_count(const std::vector<char>& mask) {
+  return static_cast<std::size_t>(
+      std::count(mask.begin(), mask.end(), char(1)));
+}
+
+}  // namespace
+
+void register_service_metrics() { (void)service_metrics(); }
 
 select::Criterion default_criterion(AppPattern p) {
   switch (p) {
@@ -64,6 +134,9 @@ remos::NetworkSnapshot NodeSelectionService::degraded_snapshot(
   level = coverage < policy.prior_below      ? DegradationLevel::Prior
           : coverage < policy.smoothed_below ? DegradationLevel::Smoothed
                                              : DegradationLevel::Full;
+  // Every ladder decision is counted here, whichever entry point asked
+  // (place, select, or a diagnostic caller).
+  service_metrics().degradation(level).inc();
   switch (level) {
     case DegradationLevel::Full:
       // The probe query *is* the answer: attaching quality never changes
@@ -93,9 +166,16 @@ Placement NodeSelectionService::place(const AppSpec& spec,
                                       const ServiceOptions& opt) const {
   spec.validate();
   const auto& g = remos_->topology();
+  ServiceMetrics& metrics = service_metrics();
+  metrics.placements.inc();
+  obs::Span span("api.place", "api",
+                 remos_->monitor().net().sim().now());
+  span.arg("app", spec.name);
   DegradationLevel level = DegradationLevel::Full;
   remos::QueryQuality quality;
   auto snap = degraded_snapshot(opt.query, opt.degradation, level, quality);
+  if (span.active())
+    span.arg("degradation", degradation_level_name(level));
 
   // Client-server specs with exactly two groups use the pattern-aware
   // extension (§3.4): the higher-priority group is the server side, chosen
@@ -116,23 +196,59 @@ Placement NodeSelectionService::place(const AppSpec& spec,
     cso.bw_priority = spec.bw_priority;
     cso.server_eligible = group_mask(g, spec.groups[si], none);
     cso.client_eligible = group_mask(g, spec.groups[ci], none);
+    metrics.candidate_set_size.observe(
+        static_cast<double>(mask_count(cso.server_eligible)));
+    metrics.candidate_set_size.observe(
+        static_cast<double>(mask_count(cso.client_eligible)));
     auto r = select::select_client_server(snap, cso);
     Placement placement;
     placement.degradation = level;
     placement.measurement_coverage = quality.coverage();
+    placement.app = spec.name;
+    placement.criterion = "client-server";
+    placement.degradation_reason =
+        coverage_reason(quality.coverage(), level, opt.degradation);
+    placement.cpu_priority = spec.cpu_priority;
+    placement.bw_priority = spec.bw_priority;
     placement.group_nodes.resize(2);
+    placement.groups.resize(2);
+    placement.groups[si].group = spec.groups[si].name;
+    placement.groups[ci].group = spec.groups[ci].name;
+    placement.groups[si].candidates = mask_count(cso.server_eligible);
+    placement.groups[ci].candidates = mask_count(cso.client_eligible);
+    if (span.active()) span.arg("criterion", placement.criterion);
     if (!r.feasible) {
       placement.note = r.note;
+      placement.groups[ci].note = r.note;
+      metrics.placements_infeasible.inc();
+      if (span.active()) span.arg("feasible", "false");
       return placement;
     }
     placement.feasible = true;
     placement.group_nodes[si] = std::move(r.servers);
     placement.group_nodes[ci] = std::move(r.clients);
+    // Per-group achieved figures come from the generic set evaluation on
+    // the same snapshot (observational only — the decision was r's).
+    select::SelectionContext csx(snap);
+    select::SelectionOptions ev_opt;
+    ev_opt.cpu_priority = spec.cpu_priority;
+    ev_opt.bw_priority = spec.bw_priority;
+    for (std::size_t gi : {si, ci}) {
+      auto& info = placement.groups[gi];
+      info.nodes = placement.group_nodes[gi];
+      auto ev = select::evaluate_set(csx, info.nodes, ev_opt);
+      info.min_cpu = ev.min_cpu;
+      info.min_bw_fraction = ev.min_pair_bw_fraction;
+      info.min_pair_bw = ev.min_pair_bw;
+      info.objective = gi == ci ? r.objective : ev.balanced;
+    }
+    if (span.active()) span.arg("feasible", "true");
     return placement;
   }
 
   select::Criterion criterion =
       opt.criterion.value_or(default_criterion(spec.pattern));
+  if (span.active()) span.arg("criterion", select::criterion_name(criterion));
 
   // Stable order: higher placement_priority first.
   std::vector<std::size_t> order(spec.groups.size());
@@ -144,7 +260,16 @@ Placement NodeSelectionService::place(const AppSpec& spec,
   Placement placement;
   placement.degradation = level;
   placement.measurement_coverage = quality.coverage();
+  placement.app = spec.name;
+  placement.criterion = select::criterion_name(criterion);
+  placement.degradation_reason =
+      coverage_reason(quality.coverage(), level, opt.degradation);
+  placement.cpu_priority = spec.cpu_priority;
+  placement.bw_priority = spec.bw_priority;
   placement.group_nodes.resize(spec.groups.size());
+  placement.groups.resize(spec.groups.size());
+  for (std::size_t gi = 0; gi < spec.groups.size(); ++gi)
+    placement.groups[gi].group = spec.groups[gi].name;
   std::vector<char> taken(g.node_count(), 0);
 
   // One context for all groups: they share the snapshot, so the deletion
@@ -162,17 +287,31 @@ Placement NodeSelectionService::place(const AppSpec& spec,
     sel.min_cpu_fraction = spec.min_cpu_fraction;
     sel.min_free_memory_bytes = spec.min_free_memory_bytes;
     sel.eligible = group_mask(g, group, taken);
+    GroupPlacementInfo& info = placement.groups[gi];
+    info.candidates = mask_count(sel.eligible);
+    metrics.candidate_set_size.observe(static_cast<double>(info.candidates));
     auto result = select::select_nodes(criterion, ctx, sel);
+    info.min_cpu = result.min_cpu;
+    info.min_bw_fraction = result.min_bw_fraction;
+    info.objective = result.objective;
+    info.note = result.note;
     if (!result.feasible) {
       placement.feasible = false;
       placement.note = "group '" + group.name + "': " +
                        (result.note.empty() ? "infeasible" : result.note);
+      metrics.placements_infeasible.inc();
+      if (span.active()) span.arg("feasible", "false");
       return placement;
     }
+    // The bits/second bottleneck is not on SelectionResult; the context's
+    // cached rows make this re-evaluation O(set^2) lookups.
+    info.min_pair_bw = select::evaluate_set(ctx, result.nodes, sel).min_pair_bw;
+    info.nodes = result.nodes;
     for (topo::NodeId n : result.nodes) taken[static_cast<std::size_t>(n)] = 1;
     placement.group_nodes[gi] = std::move(result.nodes);
   }
   placement.feasible = true;
+  if (span.active()) span.arg("feasible", "true");
   return placement;
 }
 

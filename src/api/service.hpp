@@ -43,6 +43,12 @@ struct ServiceOptions {
 /// Default criterion for an application pattern.
 select::Criterion default_criterion(AppPattern p);
 
+/// Pre-register the service's observability metrics (degradation-rung
+/// counters, candidate-set histogram, placement counters) in the global
+/// registry so exporters list them with zero values even before any
+/// placement ran. Idempotent and cheap; called automatically on first use.
+void register_service_metrics();
+
 class NodeSelectionService {
  public:
   explicit NodeSelectionService(remos::Remos& remos) : remos_(&remos) {}

@@ -1,9 +1,11 @@
 #include "exp/experiment.hpp"
 
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 
 #include "appsim/presets.hpp"
+#include "obs/metrics.hpp"
 #include "remos/remos.hpp"
 #include "select/context.hpp"
 #include "topo/generators.hpp"
@@ -129,20 +131,30 @@ constexpr std::size_t kMaxFailureNotes = 8;
 CellResult run_cell(const AppCase& app, const Scenario& scenario,
                     Policy policy, int trials, std::uint64_t seed0,
                     util::ThreadPool* pool) {
+  const bool observing = obs::enabled();
+  const auto cell_t0 = observing ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
   std::vector<TrialSlot> slots(static_cast<std::size_t>(trials));
   auto one = [&](std::size_t t) {
     TrialSlot& slot = slots[t];
+    // Trial-granularity span (never per-event): app/policy and the trial's
+    // simulated end time ride along into the Chrome trace.
+    obs::Span span("exp.trial", "exp");
+    span.arg("app", app.name);
+    span.arg("policy", policy_name(policy));
     try {
       slot.elapsed =
           run_trial(app, scenario, policy, trial_seed(seed0, static_cast<int>(t)))
               .elapsed;
       slot.ok = true;
+      if (span.active()) span.arg("ok", "true");
     } catch (const std::runtime_error& e) {
       // Expected, data-dependent failures (infeasible selection under the
       // trial's load, max_sim_time exceeded): degrade the cell, don't kill
       // the grid. std::logic_error and everything else propagate — via
       // parallel_for's deterministic lowest-index rethrow when pooled.
       slot.error = e.what();
+      if (span.active()) span.arg("ok", "false");
     }
   };
   if (pool != nullptr) {
@@ -164,6 +176,10 @@ CellResult run_cell(const AppCase& app, const Scenario& scenario,
         cell.failure_notes.push_back(slot.error);
     }
   }
+  if (observing)
+    cell.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - cell_t0)
+                            .count();
   return cell;
 }
 

@@ -105,6 +105,9 @@ struct CellResult {
   int attempted = 0;         ///< trials dispatched
   int failures = 0;          ///< trials that failed (attempted - stats.count())
   std::vector<std::string> failure_notes;  ///< first few failure messages
+  /// Wall-clock seconds this cell took (observability only; 0 when the obs
+  /// registry is disabled). Excluded from all statistics.
+  double wall_seconds = 0.0;
 
   double mean() const { return stats.mean(); }
   double stddev() const { return stats.stddev(); }

@@ -1,11 +1,13 @@
 #include "exp/faults.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "api/service.hpp"
+#include "obs/metrics.hpp"
 #include "remos/remos.hpp"
 #include "select/context.hpp"
 #include "topo/generators.hpp"
@@ -131,6 +133,9 @@ constexpr std::size_t kMaxFailureNotes = 8;
 FaultCell run_fault_cell(const AppCase& app, const Scenario& scenario,
                          Policy policy, double severity, int trials,
                          std::uint64_t seed0, util::ThreadPool* pool) {
+  const bool observing = obs::enabled();
+  const auto cell_t0 = observing ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
   std::vector<FaultSlot> slots(static_cast<std::size_t>(trials));
   auto one = [&](std::size_t t) {
     FaultSlot& slot = slots[t];
@@ -163,6 +168,10 @@ FaultCell run_fault_cell(const AppCase& app, const Scenario& scenario,
         out.cell.failure_notes.push_back(slot.error);
     }
   }
+  if (observing)
+    out.cell.wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - cell_t0)
+                                .count();
   return out;
 }
 
@@ -208,6 +217,25 @@ std::vector<FaultRow> run_fault_grid(const FaultGridOptions& opt) {
     util::parallel_for(*pool, tasks, run_one);
   } else {
     for (std::size_t j = 0; j < tasks; ++j) run_one(j);
+  }
+
+  // Same post-loop, index-order observability merge as run_table1 (the
+  // registry sees one deterministic observation sequence per grid).
+  if (obs::enabled()) {
+    obs::Histogram& cell_s = obs::Registry::global().histogram(
+        "exp.cell_s", obs::exp_buckets(0.01, 2.0, 14));
+    obs::Counter& trials = obs::Registry::global().counter("exp.trials");
+    obs::Counter& failures =
+        obs::Registry::global().counter("exp.trial_failures");
+    auto merge = [&](const FaultCell& c) {
+      cell_s.observe(c.cell.wall_seconds);
+      trials.inc(static_cast<std::uint64_t>(c.cell.attempted));
+      failures.inc(static_cast<std::uint64_t>(c.cell.failures));
+    };
+    for (const FaultRow& row : rows) {
+      merge(row.random);
+      for (const FaultCell& c : row.autos) merge(c);
+    }
   }
   return rows;
 }

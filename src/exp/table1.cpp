@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -29,6 +30,7 @@ MeasuredCell measure(const AppCase& app, int condition, Policy policy,
   cell.ci95 = result.stats.ci_halfwidth(0.95);
   cell.trials = static_cast<int>(result.stats.count());
   cell.failures = result.failures;
+  cell.wall_seconds = result.wall_seconds;
   if (opt.verbose) {
     std::fprintf(stderr,
                  "  %-9s %-14s %-13s mean=%7.1fs  +-%5.1f (n=%d%s)\n",
@@ -86,6 +88,28 @@ std::vector<MeasuredRow> run_table1(const Table1Options& opt) {
     util::parallel_for(*pool, tasks, run_one);
   } else {
     for (std::size_t j = 0; j < tasks; ++j) run_one(j);
+  }
+
+  // Grid-level observability, merged strictly in index order AFTER the
+  // (possibly pooled) grid so the registry sees the same observation
+  // sequence for every worker count (float sums are order-sensitive).
+  if (obs::enabled()) {
+    obs::Histogram& cell_s = obs::Registry::global().histogram(
+        "exp.cell_s", obs::exp_buckets(0.01, 2.0, 14));
+    obs::Counter& trials = obs::Registry::global().counter("exp.trials");
+    obs::Counter& failures =
+        obs::Registry::global().counter("exp.trial_failures");
+    for (const MeasuredRow& row : rows) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        for (const MeasuredCell* cell :
+             {&row.random_sel[c], &row.auto_sel[c]}) {
+          cell_s.observe(cell->wall_seconds);
+          trials.inc(static_cast<std::uint64_t>(cell->trials) +
+                     static_cast<std::uint64_t>(cell->failures));
+          failures.inc(static_cast<std::uint64_t>(cell->failures));
+        }
+      }
+    }
   }
   return rows;
 }

@@ -36,6 +36,9 @@ struct MeasuredCell {
   double ci95 = 0.0;
   int trials = 0;    ///< successful trials (mean/ci95 computed over these)
   int failures = 0;  ///< trials that failed and were excluded
+  /// Wall-clock seconds spent running the cell (observability only; 0 when
+  /// the obs registry is disabled). Never part of the measured statistics.
+  double wall_seconds = 0.0;
 };
 
 struct MeasuredRow {

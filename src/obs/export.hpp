@@ -1,0 +1,42 @@
+#pragma once
+// Exporters for the obs registry: a plain-text table for terminals, JSON
+// lines for log scrapers, a single JSON document for tooling
+// (scripts/check_metrics_json.py validates its schema), and Chrome
+// trace_event format loadable in chrome://tracing or https://ui.perfetto.dev.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace netsel::obs {
+
+/// Identifier stamped into the JSON document so schema drift fails fast.
+inline constexpr const char* kMetricsSchema = "netsel-metrics-v1";
+
+/// Human-readable table: counters, gauges, then histograms with their
+/// bucket breakdowns.
+void write_text(const Registry& r, std::ostream& os);
+std::string to_text(const Registry& r);
+
+/// One JSON object per line, one line per metric:
+///   {"type":"counter","name":...,"value":...}
+///   {"type":"gauge","name":...,"value":...}
+///   {"type":"histogram","name":...,"count":...,"sum":...,...}
+void write_json_lines(const Registry& r, std::ostream& os);
+std::string to_json_lines(const Registry& r);
+
+/// Single JSON document:
+///   {"schema":"netsel-metrics-v1","counters":{...},"gauges":{...},
+///    "histograms":{name:{"bounds":[...],"counts":[...],"count":n,
+///                        "sum":s,"min":m,"max":M}},"spans":n}
+void write_json(const Registry& r, std::ostream& os);
+std::string to_json(const Registry& r);
+
+/// Chrome trace_event JSON ({"traceEvents":[...]}): every recorded span as
+/// a complete ("ph":"X") event with wall-clock ts/dur in microseconds and
+/// sim-time plus string args under "args".
+void write_chrome_trace(const Registry& r, std::ostream& os);
+std::string to_chrome_trace(const Registry& r);
+
+}  // namespace netsel::obs

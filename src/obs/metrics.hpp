@@ -1,0 +1,238 @@
+#pragma once
+// obs: a process-wide observability layer — named counters, gauges and
+// fixed-bucket histograms in a global Registry, RAII scoped timers, and
+// structured spans carrying both wall-time and sim-time.
+//
+// Contract (enforced by tests/test_obs.cpp):
+//
+//   * Purely observational. Nothing read from the registry ever feeds back
+//     into selection, simulation or experiment results: every run is
+//     bit-identical with the registry enabled or disabled.
+//   * Never serializes the work-stealing pool. Counter updates go to
+//     per-thread-sharded relaxed atomics; histograms use relaxed atomics;
+//     only metric *registration* (first touch of a name) and span recording
+//     (decision granularity — placements, trials, cells — never per-event)
+//     take a mutex.
+//   * The disabled path costs a single relaxed load + branch per
+//     instrumentation site. ScopedTimer reads no clock when disabled.
+//   * References returned by Registry::counter()/gauge()/histogram() stay
+//     valid for the life of the process; reset() zeroes values and drops
+//     spans but never destroys metric objects.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netsel::obs {
+
+/// Global instrumentation switch (off by default: zero-overhead-ish).
+/// Relaxed: toggling mid-flight may drop or keep a few in-flight updates,
+/// never corrupts state.
+bool enabled();
+void set_enabled(bool on);
+
+/// Stable small index for the calling thread, used to pick counter shards
+/// and to tag spans. Assigned on first use, monotonically.
+std::size_t thread_index();
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter, sharded across cache lines so concurrent increments
+/// from pool workers never contend on one location (let alone a lock).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[thread_index() % kShards].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+  /// Sum over shards. Racy-exact: concurrent increments may or may not be
+  /// included, each exactly once.
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-value-wins instantaneous metric.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with an implicit +inf overflow bucket. Tracks count, sum, min and max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    if (!enabled()) return;
+    observe_unchecked(v);
+  }
+  void observe_unchecked(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// counts()[i] pairs with bounds()[i]; the final entry is the overflow.
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty (keeps exports finite).
+  double min() const;
+  double max() const;
+  double mean() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bucket_counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Exponential bucket bounds: first, first*factor, ... (n entries).
+std::vector<double> exp_buckets(double first, double factor, int n);
+/// Linear bucket bounds: first, first+step, ... (n entries).
+std::vector<double> linear_buckets(double first, double step, int n);
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One finished span, Chrome-trace-shaped: wall-clock start/duration in
+/// microseconds since the process obs epoch, plus optional sim-time range
+/// (negative = not set) and free-form string args.
+struct SpanRecord {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  double sim_begin = -1.0;
+  double sim_end = -1.0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+class Registry {
+ public:
+  /// The process-wide registry every instrumentation site uses.
+  static Registry& global();
+
+  /// Create-or-get by name. Cache the returned reference (e.g. in a local
+  /// static) — lookup takes a mutex, the metric itself never does.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` are used on first registration only; later calls with the
+  /// same name return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& bounds);
+
+  void record_span(SpanRecord rec);
+
+  struct HistogramView {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// Deterministic (name-sorted) value snapshots for the exporters.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<HistogramView> histograms() const;
+  std::vector<SpanRecord> spans() const;
+
+  /// Zero every metric and drop recorded spans. Metric references handed
+  /// out earlier remain valid (objects are kept, only values reset).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_;
+  std::vector<SpanRecord> spans_;
+};
+
+// ---------------------------------------------------------------------------
+// RAII instrumentation
+// ---------------------------------------------------------------------------
+
+/// Observes its wall-clock lifetime (seconds) into a histogram. Disabled at
+/// construction time -> no clock read, no observation.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_(enabled() ? &h : nullptr),
+        t0_(h_ ? std::chrono::steady_clock::now()
+               : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (h_)
+      h_->observe_unchecked(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+              .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// A structured span recorded into the global registry on destruction.
+/// Carries wall-time always and sim-time when provided. Use at decision
+/// granularity (a placement, a trial, an experiment cell) — span recording
+/// takes the registry mutex, unlike counters.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view cat = "netsel",
+                double sim_now = -1.0);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+  /// Attach a string argument (shows up under "args" in the Chrome trace).
+  void arg(std::string_view key, std::string_view value);
+  /// Record the simulated-time range covered by this span.
+  void sim_range(double begin, double end);
+
+ private:
+  bool active_;
+  SpanRecord rec_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace netsel::obs

@@ -3,7 +3,37 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace netsel::remos {
+
+namespace {
+obs::Counter& sweeps_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("remos.sweeps");
+  return c;
+}
+obs::Counter& sweeps_dropped_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("remos.sweeps_dropped");
+  return c;
+}
+obs::Counter& samples_dropped_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("remos.samples_dropped");
+  return c;
+}
+/// Up -> down edges per sensor (a 5-sweep outage counts once, not 5 times).
+obs::Counter& outage_transitions_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("remos.sensor_outage_transitions");
+  return c;
+}
+obs::Histogram& sweep_seconds_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "remos.sweep_s", obs::exp_buckets(1e-7, 4.0, 12));
+  return h;
+}
+}  // namespace
 
 Monitor::Monitor(sim::NetworkSim& net, MonitorConfig cfg)
     : net_(net), cfg_(cfg) {
@@ -39,8 +69,20 @@ void Monitor::stop() {
 }
 
 void Monitor::poll_once() {
+  obs::ScopedTimer sweep_timer(sweep_seconds_hist());
   double now = net_.sim().now();
   const auto& g = net_.topology();
+
+  // Observability-only outage-edge tracking. Lazily sized so the no-fault
+  // path never allocates; updated only while the registry is enabled.
+  const bool track_outages = injector_ && obs::enabled();
+  if (track_outages && obs_sensor_down_.empty())
+    obs_sensor_down_.assign(g.node_count() + g.link_count() * 2, 0);
+  auto note_sensor = [this, track_outages](std::size_t sensor, bool down) {
+    if (!track_outages) return;
+    if (down && !obs_sensor_down_[sensor]) outage_transitions_counter().inc();
+    obs_sensor_down_[sensor] = down ? 1 : 0;
+  };
 
   if (injector_) {
     injector_->begin_sweep();
@@ -48,6 +90,7 @@ void Monitor::poll_once() {
       // Poller missed its slot: nothing is recorded anywhere; every history
       // simply ages by one interval (queries see staler samples).
       ++sweeps_dropped_;
+      sweeps_dropped_counter().inc();
       return;
     }
   }
@@ -86,8 +129,11 @@ void Monitor::poll_once() {
       // The node's SNMP agent is unreachable: every series it feeds (load,
       // memory, owner attribution) stalls together this sweep.
       ++samples_dropped_;
+      samples_dropped_counter().inc();
+      note_sensor(i, true);
       continue;
     }
+    note_sensor(i, false);
     const sim::Host& h = net_.host(id);
     load_hist_[i].record(now, measure(h.load_average()));
     double total_mem = g.node(id).memory_bytes;
@@ -103,8 +149,11 @@ void Monitor::poll_once() {
       std::size_t d = l * 2 + (fwd ? 0 : 1);
       if (injector_ && injector_->link_down(d)) {
         ++samples_dropped_;
+        samples_dropped_counter().inc();
+        note_sensor(g.node_count() + d, true);
         continue;
       }
+      note_sensor(g.node_count() + d, false);
       link_hist_[d].record(now, measure(net_.network().link_used_bw(id, fwd)));
       for (sim::OwnerTag o : seen_owners_)
         owner_series(owner_link_hist_[d], o)
@@ -112,6 +161,7 @@ void Monitor::poll_once() {
     }
   }
   ++polls_;
+  sweeps_counter().inc();
 }
 
 const TimeSeries* Monitor::owner_load_history(topo::NodeId n,

@@ -88,6 +88,10 @@ class Monitor {
   /// Per-node and per-direction owner-attributed series.
   std::vector<std::map<sim::OwnerTag, TimeSeries>> owner_load_hist_;
   std::vector<std::map<sim::OwnerTag, TimeSeries>> owner_link_hist_;
+  /// Observability only: previous up/down state per sensor (nodes, then
+  /// link directions), used to count outage *transitions* in the obs
+  /// registry. Never read by measurements or queries.
+  std::vector<char> obs_sensor_down_;
 };
 
 }  // namespace netsel::remos

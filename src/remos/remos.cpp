@@ -4,7 +4,27 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace netsel::remos {
+
+namespace {
+obs::Histogram& query_coverage_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "remos.query.coverage", obs::linear_buckets(0.1, 0.1, 10));
+  return h;
+}
+obs::Histogram& query_newest_age_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "remos.query.newest_age_s", obs::exp_buckets(0.125, 2.0, 10));
+  return h;
+}
+obs::Histogram& query_oldest_age_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "remos.query.oldest_age_s", obs::exp_buckets(0.125, 2.0, 10));
+  return h;
+}
+}  // namespace
 
 void QueryQuality::note(double sample_age, double fresh_horizon) {
   horizon = fresh_horizon;
@@ -90,6 +110,13 @@ NetworkSnapshot Remos::snapshot(const QueryOptions& opt) const {
     double avail_ba = lk.capacity_ba - forecast_link_used(id, false, opt);
     snap.set_bw_dir(id, true, std::max(avail_ab, kBwFloor));
     snap.set_bw_dir(id, false, std::max(avail_ba, kBwFloor));
+  }
+  // Observability only: one sample per quality-carrying snapshot query, fed
+  // from the same QueryQuality side channel callers already see.
+  if (opt.quality && obs::enabled() && opt.quality->sensors_total > 0) {
+    query_coverage_hist().observe(opt.quality->coverage());
+    query_newest_age_hist().observe(opt.quality->newest_age);
+    query_oldest_age_hist().observe(opt.quality->oldest_age);
   }
   return snap;
 }

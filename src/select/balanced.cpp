@@ -33,10 +33,12 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "select/algorithms.hpp"
 #include "select/context.hpp"
 #include "select/detail.hpp"
 #include "select/objective.hpp"
+#include "select/obs.hpp"
 #include "select/reference.hpp"
 #include "topo/connectivity.hpp"
 
@@ -272,6 +274,8 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
 
 SelectionResult select_balanced(const SelectionContext& ctx,
                                 const SelectionOptions& opt) {
+  detail::selections_counter().inc();
+  obs::ScopedTimer timer(detail::criterion_latency_hist(Criterion::Balanced));
   validate_options(ctx.snapshot(), opt);
   // The merge-forest argument needs unique per-component link sets, i.e. a
   // forest; the Steiner ablation re-derives its link set per candidate. Both

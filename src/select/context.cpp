@@ -2,13 +2,51 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace netsel::select {
 
+namespace {
+// Cache visibility for the shared-context layer: every pair_row() lookup is
+// a hit (slot already built) or a miss (BFS bottleneck row built now);
+// epoch invalidations count full cache drops after snapshot mutation.
+// Purely observational — one branch each while the registry is disabled.
+obs::Counter& row_hits() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.row_hits");
+  return c;
+}
+obs::Counter& row_misses() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.row_misses");
+  return c;
+}
+obs::Counter& invalidations() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.invalidations");
+  return c;
+}
+obs::Counter& order_builds() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.order_builds");
+  return c;
+}
+}  // namespace
+
 SelectionContext::SelectionContext(const remos::NetworkSnapshot& snap)
-    : snap_(&snap), epoch_(snap.epoch()) {}
+    : snap_(&snap), epoch_(snap.epoch()) {
+  // Touch every context counter so all four are registered (and exported,
+  // possibly at 0) as soon as any context exists — a run with no cache hits
+  // still reports select.ctx.row_hits: 0 rather than omitting it.
+  row_hits();
+  row_misses();
+  invalidations();
+  order_builds();
+}
 
 void SelectionContext::revalidate() const {
   if (epoch_ == snap_->epoch()) return;
+  invalidations().inc();
   epoch_ = snap_->epoch();
   bw_.clear();
   bwfactor_.clear();
@@ -63,7 +101,10 @@ std::vector<topo::LinkId> sorted_by(const std::vector<double>& key) {
 
 const std::vector<topo::LinkId>& SelectionContext::links_by_bw() const {
   const auto& bw = link_bw();
-  if (by_bw_.size() != bw.size()) by_bw_ = sorted_by(bw);
+  if (by_bw_.size() != bw.size()) {
+    by_bw_ = sorted_by(bw);
+    order_builds().inc();
+  }
   return by_bw_;
 }
 
@@ -82,7 +123,10 @@ const std::vector<topo::LinkId>& SelectionContext::links_by_fraction(
     const SelectionOptions& opt) const {
   if (opt.reference_bw > 0.0) return links_by_bw();
   const auto& f = link_bwfactor();
-  if (by_bwfactor_.size() != f.size()) by_bwfactor_ = sorted_by(f);
+  if (by_bwfactor_.size() != f.size()) {
+    by_bwfactor_ = sorted_by(f);
+    order_builds().inc();
+  }
   return by_bwfactor_;
 }
 
@@ -102,8 +146,11 @@ const topo::BottleneckRow& SelectionContext::pair_row(topo::NodeId src) const {
   if (rows_.size() != graph().node_count()) rows_.resize(graph().node_count());
   auto& slot = rows_[static_cast<std::size_t>(src)];
   if (!slot) {
+    row_misses().inc();
     slot = std::make_unique<topo::BottleneckRow>(
         topo::bottleneck_row(graph(), src, bw, f));
+  } else {
+    row_hits().inc();
   }
   return *slot;
 }

@@ -26,16 +26,21 @@
 // detail::reference_select_max_bandwidth for the literal loop this replaces
 // and tests/test_select_context.cpp for the equivalence suite.
 
+#include "obs/metrics.hpp"
 #include "select/algorithms.hpp"
 #include "select/context.hpp"
 #include "select/detail.hpp"
 #include "select/objective.hpp"
+#include "select/obs.hpp"
 #include "topo/connectivity.hpp"
 
 namespace netsel::select {
 
 SelectionResult select_max_bandwidth(const SelectionContext& ctx,
                                      const SelectionOptions& opt) {
+  detail::selections_counter().inc();
+  obs::ScopedTimer timer(
+      detail::criterion_latency_hist(Criterion::MaxBandwidth));
   const auto& snap = ctx.snapshot();
   validate_options(snap, opt);
   const int m = opt.num_nodes;

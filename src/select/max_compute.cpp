@@ -1,14 +1,44 @@
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "select/algorithms.hpp"
 #include "select/context.hpp"
 #include "select/detail.hpp"
+#include "select/obs.hpp"
 #include "topo/connectivity.hpp"
 
 namespace netsel::select {
 
+namespace detail {
+obs::Histogram& criterion_latency_hist(Criterion c) {
+  // One histogram per criterion, registered on first use; the registry
+  // keeps the objects alive so the references below never dangle.
+  static obs::Histogram& compute = obs::Registry::global().histogram(
+      "select.latency_s.max_compute", obs::exp_buckets(1e-6, 4.0, 12));
+  static obs::Histogram& bandwidth = obs::Registry::global().histogram(
+      "select.latency_s.max_bandwidth", obs::exp_buckets(1e-6, 4.0, 12));
+  static obs::Histogram& balanced = obs::Registry::global().histogram(
+      "select.latency_s.balanced", obs::exp_buckets(1e-6, 4.0, 12));
+  switch (c) {
+    case Criterion::MaxCompute: return compute;
+    case Criterion::MaxBandwidth: return bandwidth;
+    case Criterion::Balanced: return balanced;
+  }
+  return balanced;
+}
+
+obs::Counter& selections_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.selections");
+  return c;
+}
+}  // namespace detail
+
 SelectionResult select_max_compute(const SelectionContext& ctx,
                                    const SelectionOptions& opt) {
+  detail::selections_counter().inc();
+  obs::ScopedTimer timer(
+      detail::criterion_latency_hist(Criterion::MaxCompute));
   const auto& snap = ctx.snapshot();
   validate_options(snap, opt);
   const int m = opt.num_nodes;

@@ -1,0 +1,18 @@
+#pragma once
+// Observability hooks of the selection layer (shared by the per-criterion
+// algorithm translation units). Purely observational: nothing here feeds
+// back into a selection decision.
+
+#include "obs/metrics.hpp"
+#include "select/options.hpp"
+
+namespace netsel::select::detail {
+
+/// Wall-clock latency histogram for one criterion's selection entry point
+/// (seconds, exponential buckets 1 us .. ~4 s).
+obs::Histogram& criterion_latency_hist(Criterion c);
+
+/// Total selection-algorithm invocations across criteria.
+obs::Counter& selections_counter();
+
+}  // namespace netsel::select::detail

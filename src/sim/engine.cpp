@@ -2,7 +2,19 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace netsel::sim {
+
+namespace {
+// One global counter across all live Simulators (concurrent trials each own
+// one): total events processed by the process. Sharded — concurrent trials
+// on pool workers land in distinct cache lines.
+obs::Counter& events_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("sim.events");
+  return c;
+}
+}  // namespace
 
 EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_)
@@ -33,6 +45,7 @@ bool Simulator::step() {
     }
     now_ = e.t;
     ++executed_;
+    events_counter().inc();
     e.fn();
     return true;
   }

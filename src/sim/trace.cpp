@@ -73,8 +73,7 @@ double TraceRecorder::value(std::size_t row, std::size_t col) const {
   return values_[row * width_ + col];
 }
 
-std::string TraceRecorder::to_csv() const {
-  std::ostringstream os;
+void TraceRecorder::write_csv(std::ostream& os) const {
   auto cols = columns();
   for (std::size_t c = 0; c < cols.size(); ++c) os << (c ? "," : "") << cols[c];
   os << "\n";
@@ -83,6 +82,11 @@ std::string TraceRecorder::to_csv() const {
     for (std::size_t c = 0; c < width_; ++c) os << "," << values_[r * width_ + c];
     os << "\n";
   }
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 // experimenters* — it reads ground truth, not measurements.
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,11 @@ class TraceRecorder {
 
   /// Column names in CSV order (time first).
   std::vector<std::string> columns() const;
-  /// One row per sample: time, then host loads, then link utilisations.
+  /// Stream the CSV (header + one row per sample: time, then host loads,
+  /// then link utilisations) without materialising it — long-run traces go
+  /// straight to a file instead of building one giant string.
+  void write_csv(std::ostream& os) const;
+  /// Convenience wrapper over write_csv for small traces.
   std::string to_csv() const;
 
   /// Value of column `col` (by columns() index, excluding the time column)

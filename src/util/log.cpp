@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
 namespace netsel::util {
 
@@ -9,6 +11,12 @@ namespace {
 // Atomic so concurrent experiment trials can read the threshold while a
 // harness thread (re)configures it, without a data race under TSan.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Pluggable sink, behind a mutex; log_line copies the shared_ptr under the
+// lock and calls outside it, so set_log_sink never waits on a slow sink and
+// an in-flight line keeps the sink it resolved alive.
+std::mutex g_sink_mu;
+std::shared_ptr<const LogSink> g_sink;  // null -> default stderr sink
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,8 +36,22 @@ void set_log_level(LogLevel level) {
 }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::shared_ptr<const LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink) {
+    (*sink)(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

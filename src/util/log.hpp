@@ -2,6 +2,7 @@
 // Minimal leveled logging. Simulation code logs through this so tests can
 // silence output and benches can turn on tracing.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,9 +14,21 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Destination for log lines that pass the threshold. Must be callable from
+/// concurrent threads (the default stderr sink is).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Install a sink (tests capture output here instead of scraping stderr);
+/// nullptr restores the default single-fprintf-to-stderr sink. Thread-safe
+/// against concurrent log_line calls: an in-flight line uses either the old
+/// or the new sink, never a torn one.
+void set_log_sink(LogSink sink);
+
 /// Emit one line. Safe to call from concurrent experiment trials: the level
-/// is an atomic and each line is a single fprintf to stderr (lines from
-/// different threads may interleave in order, never within a line).
+/// is an atomic, and the sink is resolved under a mutex only after the line
+/// passes the threshold (the common suppressed path takes no lock). The
+/// default sink is a single fprintf to stderr, so lines from different
+/// threads may interleave in order, never within a line.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {
@@ -45,6 +58,7 @@ class LogMessage {
   else                                                             \
     ::netsel::util::detail::LogMessage(level)
 
+#define NETSEL_LOG_TRACE NETSEL_LOG(::netsel::util::LogLevel::Trace)
 #define NETSEL_LOG_DEBUG NETSEL_LOG(::netsel::util::LogLevel::Debug)
 #define NETSEL_LOG_INFO NETSEL_LOG(::netsel::util::LogLevel::Info)
 #define NETSEL_LOG_WARN NETSEL_LOG(::netsel::util::LogLevel::Warn)

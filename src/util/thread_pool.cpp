@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace netsel::util {
 
 namespace {
@@ -8,9 +10,31 @@ namespace {
 // take() start the steal scan away from it.
 thread_local const ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_queue = 0;
+
+// Sharded counters: updates never contend with the deque locks or across
+// workers, and cost one branch each while the registry is disabled.
+obs::Counter& tasks_run_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.tasks_run");
+  return c;
+}
+obs::Counter& steals_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.steals");
+  return c;
+}
+obs::Counter& idle_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pool.idle_transitions");
+  return c;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
+  // Touch the pool counters so all three are registered (and exported,
+  // possibly at 0) whenever a pool exists — a single-worker pool that never
+  // steals still reports pool.steals: 0 rather than omitting it.
+  tasks_run_counter();
+  steals_counter();
+  idle_counter();
   std::size_t n;
   if (threads < 0) {
     unsigned hw = std::thread::hardware_concurrency();
@@ -79,6 +103,7 @@ bool ThreadPool::take(std::size_t home, bool own_lifo,
       out = std::move(q.jobs.front());
       q.jobs.pop_front();
       pending_.fetch_sub(1);
+      steals_counter().inc();
       return true;
     }
   }
@@ -93,6 +118,7 @@ bool ThreadPool::try_run_one() {
   std::size_t home = is_worker ? tl_queue : 0;
   std::function<void()> job;
   if (!take(home, is_worker, job)) return false;
+  tasks_run_counter().inc();
   job();
   return true;
 }
@@ -103,10 +129,12 @@ void ThreadPool::worker_loop(std::size_t index) {
   std::function<void()> job;
   while (true) {
     if (take(index, /*own_lifo=*/true, job)) {
+      tasks_run_counter().inc();
       job();
       job = nullptr;  // release captures before sleeping
       continue;
     }
+    idle_counter().inc();
     std::unique_lock<std::mutex> lock(sleep_mu_);
     sleep_cv_.wait(lock,
                    [this] { return stop_.load() || pending_.load() > 0; });

@@ -153,6 +153,48 @@ TEST_F(ApiFixture, CriterionOverrideAndConvenienceSelect) {
             select::Criterion::Balanced);
 }
 
+TEST_F(ApiFixture, PlacementCarriesExplainDataAndReportRendersIt) {
+  warm();
+  NodeSelectionService svc(remos);
+  auto spec = AppSpec::spmd("fft", 4, AppPattern::LooselySynchronous);
+  auto placement = svc.place(spec);
+  ASSERT_TRUE(placement.feasible);
+
+  // Structured explain fields on the Placement itself.
+  EXPECT_EQ(placement.app, "fft");
+  EXPECT_EQ(placement.criterion, "balanced");
+  EXPECT_FALSE(placement.degradation_reason.empty());
+  ASSERT_EQ(placement.groups.size(), 1u);
+  const auto& info = placement.groups[0];
+  EXPECT_EQ(info.nodes, placement.group_nodes[0]);
+  EXPECT_GE(info.candidates, info.nodes.size());
+  EXPECT_GT(info.min_cpu, 0.0);
+  EXPECT_GT(info.min_bw_fraction, 0.0);
+  EXPECT_GT(info.min_pair_bw, 0.0);
+
+  // The text rendering names the app, the chosen nodes, and marks the
+  // binding cpu-vs-bandwidth term.
+  auto report = explain_report(placement, remos.topology());
+  EXPECT_NE(report.find("fft"), std::string::npos);
+  EXPECT_NE(report.find("[binding]"), std::string::npos);
+  EXPECT_NE(report.find(placement.degradation_reason), std::string::npos);
+  for (auto n : placement.group_nodes[0]) {
+    EXPECT_NE(report.find(remos.topology().node(n).name), std::string::npos)
+        << report;
+  }
+}
+
+TEST_F(ApiFixture, InfeasiblePlacementExplainsItself) {
+  warm();
+  NodeSelectionService svc(remos);
+  auto spec = AppSpec::spmd("huge", 500, AppPattern::LooselySynchronous);
+  auto placement = svc.place(spec);
+  ASSERT_FALSE(placement.feasible);
+  EXPECT_EQ(placement.app, "huge");
+  auto report = explain_report(placement, remos.topology());
+  EXPECT_NE(report.find("infeasible"), std::string::npos) << report;
+}
+
 TEST_F(ApiFixture, SpecLevelRequirementsPropagate) {
   warm();
   NodeSelectionService svc(remos);

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 namespace netsel::util {
 namespace {
 
@@ -9,6 +14,11 @@ namespace {
 struct LevelGuard {
   LogLevel saved = log_level();
   ~LevelGuard() { set_log_level(saved); }
+};
+
+/// RAII guard restoring the default stderr sink after each test.
+struct SinkGuard {
+  ~SinkGuard() { set_log_sink(nullptr); }
 };
 
 TEST(Log, LevelRoundTrips) {
@@ -47,6 +57,93 @@ TEST(Log, MacroEvaluatesWhenEnabled) {
   // test run (single line).
   NETSEL_LOG_ERROR << "test error line " << count();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, SinkCapturesLevelAndContent) {
+  LevelGuard guard;
+  SinkGuard sink_guard;
+  set_log_level(LogLevel::Trace);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel lvl, const std::string& msg) {
+    captured.emplace_back(lvl, msg);
+  });
+  NETSEL_LOG_TRACE << "trace " << 1;
+  NETSEL_LOG_WARN << "warn " << 2;
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::Trace);
+  EXPECT_EQ(captured[0].second, "trace 1");
+  EXPECT_EQ(captured[1].first, LogLevel::Warn);
+  EXPECT_EQ(captured[1].second, "warn 2");
+}
+
+TEST(Log, NullSinkRestoresDefault) {
+  LevelGuard guard;
+  SinkGuard sink_guard;
+  set_log_level(LogLevel::Off);
+  int calls = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++calls; });
+  set_log_sink(nullptr);
+  // With the default sink back and the level Off, nothing reaches either
+  // destination; the replaced sink must not be invoked anymore.
+  set_log_level(LogLevel::Error);
+  set_log_sink([&](LogLevel, const std::string&) { ++calls; });
+  NETSEL_LOG_ERROR << "captured";
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::Off);
+  NETSEL_LOG_ERROR << "suppressed";
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Log, TraceMacroRespectsThreshold) {
+  LevelGuard guard;
+  SinkGuard sink_guard;
+  int lines = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++lines; });
+  set_log_level(LogLevel::Debug);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 7;
+  };
+  NETSEL_LOG_TRACE << count();  // below Debug: not evaluated, not emitted
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(lines, 0);
+  set_log_level(LogLevel::Trace);
+  NETSEL_LOG_TRACE << count();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(lines, 1);
+}
+
+TEST(Log, ConcurrentLevelChangesAndLogging) {
+  LevelGuard guard;
+  SinkGuard sink_guard;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  set_log_sink([&](LogLevel, const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(msg);
+  });
+  set_log_level(LogLevel::Info);
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    // Hammer the level while other threads log: the atomic threshold and
+    // mutex-guarded sink copy must stay tear-free under TSan.
+    for (int i = 0; i < 2000; ++i)
+      set_log_level(i % 2 == 0 ? LogLevel::Info : LogLevel::Off);
+    stop.store(true);
+  });
+  std::vector<std::thread> loggers;
+  for (int t = 0; t < 4; ++t)
+    loggers.emplace_back([&, t] {
+      while (!stop.load()) NETSEL_LOG_INFO << "worker " << t;
+    });
+  toggler.join();
+  for (auto& th : loggers) th.join();
+  set_log_sink(nullptr);
+  // Every captured line must be complete (no interleaving within a line).
+  std::lock_guard<std::mutex> lock(mu);
+  for (const std::string& line : lines)
+    EXPECT_EQ(line.rfind("worker ", 0), 0u) << line;
 }
 
 TEST(Log, OrderingOfLevels) {

@@ -1,0 +1,242 @@
+// Tests of the obs layer: metric primitives, the registry, exporters, and
+// the two load-bearing contracts — concurrent counter updates are exact
+// (exercised under TSan in CI), and enabling the registry never changes a
+// single bit of any experiment result.
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/table1.hpp"
+#include "util/thread_pool.hpp"
+
+namespace netsel::obs {
+namespace {
+
+/// Every test runs against the (process-global) registry: enable, reset,
+/// and restore the disabled default afterwards so test order never matters.
+struct ObsFixture : ::testing::Test {
+  void SetUp() override {
+    set_enabled(true);
+    Registry::global().reset();
+  }
+  void TearDown() override {
+    Registry::global().reset();
+    set_enabled(false);
+  }
+};
+
+using Obs = ObsFixture;
+
+TEST_F(Obs, CounterCountsAndResets) {
+  Counter& c = Registry::global().counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  // Create-or-get: same name, same object.
+  EXPECT_EQ(&c, &Registry::global().counter("test.counter"));
+}
+
+TEST_F(Obs, GaugeLastValueWins) {
+  Gauge& g = Registry::global().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(Obs, HistogramBucketsValuesCorrectly) {
+  // Bounds are inclusive upper bounds with an implicit +inf overflow.
+  Histogram& h =
+      Registry::global().histogram("test.hist", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);      // 0.5, 1.0 (inclusive)
+  EXPECT_EQ(counts[1], 1u);      // 1.5
+  EXPECT_EQ(counts[2], 1u);      // 3.0
+  EXPECT_EQ(counts[3], 1u);      // 100.0 -> overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+}
+
+TEST_F(Obs, HistogramEmptyReportsZeros) {
+  Histogram& h = Registry::global().histogram("test.empty", {1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST_F(Obs, BucketHelpers) {
+  auto e = exp_buckets(1.0, 2.0, 4);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e[0], 1.0);
+  EXPECT_DOUBLE_EQ(e[3], 8.0);
+  auto l = linear_buckets(0.1, 0.1, 3);
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_NEAR(l[2], 0.3, 1e-12);
+}
+
+TEST_F(Obs, DisabledSitesAreNoOps) {
+  Counter& c = Registry::global().counter("test.disabled.counter");
+  Gauge& g = Registry::global().gauge("test.disabled.gauge");
+  Histogram& h = Registry::global().histogram("test.disabled.hist", {1.0});
+  set_enabled(false);
+  c.inc();
+  g.set(5.0);
+  h.observe(0.5);
+  {
+    ScopedTimer t(h);
+    Span span("test.disabled.span");
+    EXPECT_FALSE(span.active());
+    span.arg("k", "v");  // must be a harmless no-op
+  }
+  set_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(Registry::global().spans().empty());
+}
+
+TEST_F(Obs, ResetKeepsReferencesValid) {
+  Counter& c = Registry::global().counter("test.stable");
+  c.inc(7);
+  Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc(3);  // the pre-reset reference must still reach the live object
+  EXPECT_EQ(c.value(), 3u);
+  EXPECT_EQ(&c, &Registry::global().counter("test.stable"));
+}
+
+TEST_F(Obs, SpanRecordsWallSimAndArgs) {
+  {
+    Span span("test.span", "testcat", 10.0);
+    EXPECT_TRUE(span.active());
+    span.arg("key", "value");
+    span.sim_range(10.0, 25.0);
+  }
+  auto spans = Registry::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanRecord& rec = spans[0];
+  EXPECT_EQ(rec.name, "test.span");
+  EXPECT_EQ(rec.cat, "testcat");
+  EXPECT_GE(rec.dur_us, 0.0);
+  EXPECT_DOUBLE_EQ(rec.sim_begin, 10.0);
+  EXPECT_DOUBLE_EQ(rec.sim_end, 25.0);
+  ASSERT_EQ(rec.args.size(), 1u);
+  EXPECT_EQ(rec.args[0].first, "key");
+  EXPECT_EQ(rec.args[0].second, "value");
+}
+
+TEST_F(Obs, ScopedTimerObservesSeconds) {
+  Histogram& h = Registry::global().histogram(
+      "test.timer", exp_buckets(1e-9, 10.0, 12));
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.0);
+  EXPECT_LT(h.max(), 60.0);  // sanity: a no-op scope is not a minute long
+}
+
+TEST_F(Obs, ExportersRenderTheRegistry) {
+  Registry::global().counter("export.counter").inc(5);
+  Registry::global().gauge("export.gauge").set(2.5);
+  Registry::global()
+      .histogram("export.hist", {1.0, 2.0})
+      .observe(1.5);
+  {
+    Span span("export.span", "exp");
+    span.arg("app", "FFT \"1K\"");  // exercises JSON string escaping
+  }
+  const Registry& r = Registry::global();
+
+  std::string text = to_text(r);
+  EXPECT_NE(text.find("export.counter"), std::string::npos);
+  EXPECT_NE(text.find("export.hist"), std::string::npos);
+
+  std::string jl = to_json_lines(r);
+  EXPECT_NE(jl.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(jl.find("\"name\":\"export.gauge\""), std::string::npos);
+
+  std::string doc = to_json(r);
+  EXPECT_NE(doc.find(kMetricsSchema), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"export.counter\": 5"), std::string::npos);
+
+  std::string trace = to_chrome_trace(r);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("export.span"), std::string::npos);
+  EXPECT_NE(trace.find("FFT \\\"1K\\\""), std::string::npos);
+}
+
+TEST_F(Obs, ConcurrentCounterUpdatesAreExact) {
+  // The sharded counter's one job: absorb concurrent increments from pool
+  // workers without losing any. CI runs this test under TSan too.
+  Counter& c = Registry::global().counter("test.concurrent");
+  Histogram& h = Registry::global().histogram(
+      "test.concurrent.hist", exp_buckets(1.0, 2.0, 10));
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kIncsPerTask = 5000;
+  util::ThreadPool pool(4);
+  util::parallel_for(pool, kTasks, [&](std::size_t i) {
+    for (std::uint64_t k = 0; k < kIncsPerTask; ++k) c.inc();
+    h.observe(static_cast<double>(i % 7) + 0.5);
+  });
+  EXPECT_EQ(c.value(), kTasks * kIncsPerTask);
+  EXPECT_EQ(h.count(), kTasks);
+}
+
+/// The tentpole contract: the whole Table-1 pipeline is bit-identical with
+/// the registry enabled or disabled. Wall-clock fields are excluded — they
+/// are documented as observability-only.
+TEST_F(Obs, Table1ResultsBitIdenticalEnabledVsDisabled) {
+  exp::Table1Options opt;
+  opt.trials = 2;
+  opt.seed = 424242;
+
+  set_enabled(false);
+  auto base = exp::run_table1(opt);
+  set_enabled(true);
+  Registry::global().reset();
+  auto instrumented = exp::run_table1(opt);
+
+  // The instrumented run must actually have recorded something — otherwise
+  // this test would pass vacuously with the instrumentation compiled out.
+  EXPECT_GT(Registry::global().counter("exp.trials").value(), 0u);
+  EXPECT_GT(Registry::global().counter("select.selections").value(), 0u);
+  EXPECT_GT(Registry::global().counter("sim.events").value(), 0u);
+
+  ASSERT_EQ(base.size(), instrumented.size());
+  for (std::size_t r = 0; r < base.size(); ++r) {
+    EXPECT_EQ(base[r].app, instrumented[r].app);
+    EXPECT_EQ(base[r].reference, instrumented[r].reference);
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (auto pick : {&exp::MeasuredRow::random_sel,
+                        &exp::MeasuredRow::auto_sel}) {
+        const exp::MeasuredCell& a = (base[r].*pick)[c];
+        const exp::MeasuredCell& b = (instrumented[r].*pick)[c];
+        EXPECT_EQ(a.mean, b.mean);
+        EXPECT_EQ(a.ci95, b.ci95);
+        EXPECT_EQ(a.trials, b.trials);
+        EXPECT_EQ(a.failures, b.failures);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netsel::obs

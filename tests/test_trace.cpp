@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "topo/generators.hpp"
 
@@ -68,6 +69,17 @@ TEST(Trace, CsvShape) {
   // 1 header + 4 samples.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
   EXPECT_EQ(csv.substr(0, 5), "time,");
+}
+
+TEST(Trace, WriteCsvStreamsIdenticalToToCsv) {
+  NetworkSim net(topo::star(3));
+  TraceRecorder trace(net);
+  trace.start();
+  net.sim().run_until(8.0);
+  std::ostringstream streamed;
+  trace.write_csv(streamed);
+  EXPECT_EQ(streamed.str(), trace.to_csv());
+  EXPECT_FALSE(streamed.str().empty());
 }
 
 TEST(Trace, StopHaltsSampling) {
