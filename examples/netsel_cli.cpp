@@ -6,8 +6,22 @@
 //
 // Usage:
 //   netsel_cli --topology FILE --nodes M [options]
+//   netsel_cli --generate SPEC [--emit-topo | --nodes M [options]]
 //
 // Options:
+//   --generate SPEC              synthesise a topology instead of reading
+//                                one (topo/synthetic.hpp). SPEC is
+//                                FAMILY[:key=value,...] with families
+//                                  fat-tree   keys hosts, ports, oversub, seed
+//                                  campus-wan keys campuses, buildings,
+//                                             hosts, seed
+//                                  core-edge  keys cores, edges, hosts, seed
+//                                e.g. --generate fat-tree:hosts=512,oversub=3
+//   --emit-topo                  print the topology in .topo format (see
+//                                docs/TOPO_FORMAT.md) and exit; combine with
+//                                --generate to materialise synthetic fabrics
+//                                (examples/topologies/fat_tree_small.topo is
+//                                made this way)
 //   --criterion compute|bandwidth|balanced|latency   (default balanced)
 //   --load NODE=LOADAVG          repeatable: set a node's load average
 //   --bw LINKNAME=BW             repeatable: set a link's available bw
@@ -35,6 +49,7 @@
 #include "select/objective.hpp"
 #include "topo/dot.hpp"
 #include "topo/parse.hpp"
+#include "topo/synthetic.hpp"
 
 using namespace netsel;
 
@@ -54,11 +69,67 @@ std::optional<topo::LinkId> find_link(const topo::TopologyGraph& g,
   return std::nullopt;
 }
 
+/// Parse a --generate SPEC (FAMILY[:key=value,...]) and build the topology.
+topo::TopologyGraph generate_topology(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  std::vector<std::pair<std::string, double>> kv;
+  if (colon != std::string::npos) {
+    std::stringstream rest(spec.substr(colon + 1));
+    std::string item;
+    while (std::getline(rest, item, ',')) {
+      const auto eq = item.find('=');
+      if (eq == std::string::npos)
+        die("--generate: expected key=value, got '" + item + "'");
+      kv.emplace_back(item.substr(0, eq), std::stod(item.substr(eq + 1)));
+    }
+  }
+  auto take = [&](const char* key, double fallback) {
+    for (auto& [k, v] : kv)
+      if (k == key) {
+        k.clear();  // consumed
+        return v;
+      }
+    return fallback;
+  };
+  topo::TopologyGraph g;
+  if (family == "fat-tree") {
+    g = topo::fat_tree(topo::fat_tree_for_hosts(
+        static_cast<int>(take("hosts", 64)),
+        static_cast<int>(take("ports", 48)), take("oversub", 3.0),
+        static_cast<std::uint64_t>(take("seed", 1))));
+  } else if (family == "campus-wan") {
+    topo::CampusWanOptions o;
+    o.campuses = static_cast<int>(take("campuses", o.campuses));
+    o.buildings_per_campus =
+        static_cast<int>(take("buildings", o.buildings_per_campus));
+    o.hosts_per_building =
+        static_cast<int>(take("hosts", o.hosts_per_building));
+    o.seed = static_cast<std::uint64_t>(take("seed", 1));
+    g = topo::campus_wan(o);
+  } else if (family == "core-edge") {
+    topo::RandomCoreEdgeOptions o;
+    o.core_switches = static_cast<int>(take("cores", o.core_switches));
+    o.edge_switches = static_cast<int>(take("edges", o.edge_switches));
+    o.hosts = static_cast<int>(take("hosts", o.hosts));
+    o.seed = static_cast<std::uint64_t>(take("seed", 1));
+    g = topo::random_core_edge(o);
+  } else {
+    die("--generate: unknown family '" + family +
+        "' (fat-tree, campus-wan, core-edge)");
+  }
+  for (const auto& [k, v] : kv)
+    if (!k.empty()) die("--generate: unknown key '" + k + "' for " + family);
+  return g;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string topology_path;
+  std::string generate_spec;
   std::string criterion = "balanced";
+  bool emit_topo = false;
   int m = 0;
   std::vector<std::pair<std::string, double>> loads;
   std::vector<std::pair<std::string, double>> bws;
@@ -75,6 +146,10 @@ int main(int argc, char** argv) {
     try {
       if (a == "--topology") {
         topology_path = next_arg(i);
+      } else if (a == "--generate") {
+        generate_spec = next_arg(i);
+      } else if (a == "--emit-topo") {
+        emit_topo = true;
       } else if (a == "--nodes") {
         m = std::stoi(next_arg(i));
       } else if (a == "--criterion") {
@@ -111,19 +186,27 @@ int main(int argc, char** argv) {
       die("bad argument for " + a + ": " + e.what());
     }
   }
-  if (topology_path.empty()) die("--topology is required");
-  if (m < 1) die("--nodes M (>= 1) is required");
-
-  std::ifstream in(topology_path);
-  if (!in) die("cannot open " + topology_path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
+  if (topology_path.empty() == generate_spec.empty())
+    die("exactly one of --topology / --generate is required");
+  if (!emit_topo && m < 1) die("--nodes M (>= 1) is required");
 
   topo::TopologyGraph g;
-  try {
-    g = topo::parse_topology(buffer.str());
-  } catch (const std::exception& e) {
-    die(topology_path + ": " + e.what());
+  if (!generate_spec.empty()) {
+    g = generate_topology(generate_spec);
+  } else {
+    std::ifstream in(topology_path);
+    if (!in) die("cannot open " + topology_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      g = topo::parse_topology(buffer.str());
+    } catch (const std::exception& e) {
+      die(topology_path + ": " + e.what());
+    }
+  }
+  if (emit_topo) {
+    std::printf("%s", topo::format_topology(g).c_str());
+    return 0;
   }
 
   remos::NetworkSnapshot snap(g);

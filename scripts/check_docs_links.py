@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Check that intra-repo links and file references in the Markdown docs
+resolve.
+
+Scans the repo's committed *.md files (top level, docs/, .github/) for
+
+  * inline Markdown links [text](target) — http(s)/mailto links are
+    ignored, anchors are stripped, everything else must exist relative to
+    the linking file (or the repo root as a fallback);
+  * backtick references like `src/select/prune.hpp`, `docs/TOPO_FORMAT.md`
+    or `scripts/check_docs_links.py` — single-token paths with a known
+    directory prefix and file extension must exist.
+
+Exits non-zero listing every broken reference. Run from anywhere:
+
+  python3 scripts/check_docs_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Committed Markdown roots (build/ output and similar are never scanned).
+DOC_GLOBS = ["*.md", "docs/*.md", ".github/**/*.md"]
+# Generated reference material (paper/snippet retrieval dumps) is not ours
+# to fix and may cite assets that were never retrieved.
+SKIP = {"PAPERS.md", "SNIPPETS.md", "PAPER.md", "ISSUE.md"}
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `path/to/file.ext` with a recognisable top-level prefix.
+BACKTICK_PATH = re.compile(
+    r"`((?:src|docs|tests|bench|examples|scripts|\.github)/[A-Za-z0-9_\-./]+"
+    r"\.[A-Za-z0-9]+)`"
+)
+# `a/b.{hpp,cpp}`-style brace shorthand used throughout the docs.
+BRACES = re.compile(r"\{([^}]*)\}")
+
+
+def expand_braces(path):
+    m = BRACES.search(path)
+    if not m:
+        return [path]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_braces(path[: m.start()] + alt + path[m.end() :]))
+    return out
+
+
+def resolves(target, base):
+    candidates = [base / target, ROOT / target]
+    return any(c.exists() for c in candidates)
+
+
+def main():
+    broken = []
+    files = sorted(
+        {f for g in DOC_GLOBS for f in ROOT.glob(g) if f.name not in SKIP}
+    )
+    if not files:
+        print("check_docs_links: no Markdown files found", file=sys.stderr)
+        return 2
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        rel = md.relative_to(ROOT)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            targets = []
+            for m in INLINE_LINK.finditer(line):
+                t = m.group(1)
+                if t.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                targets.append(t.split("#")[0])
+            for m in BACKTICK_PATH.finditer(line):
+                targets.extend(expand_braces(m.group(1)))
+            for t in targets:
+                if t and not resolves(t, md.parent):
+                    broken.append(f"{rel}:{lineno}: broken reference '{t}'")
+    if broken:
+        print("check_docs_links: FAIL", file=sys.stderr)
+        for b in broken:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    print(f"check_docs_links: OK ({len(files)} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Schema check for the obs metrics JSON document (and optionally a Chrome
-trace) written by `bench_table1 --metrics-json` / `bench_faults
---metrics-json`.
+trace) written by the bench binaries' --metrics-json / --chrome-trace flags.
 
-Usage: check_metrics_json.py METRICS_JSON [CHROME_TRACE_JSON]
+Usage: check_metrics_json.py [--profile NAME] METRICS_JSON [CHROME_TRACE_JSON]
+
+Profiles pick the required metric set for the producing benchmark:
+  table1 (default)  simulation grids: bench_table1 / bench_faults
+  scale             selection-only runs: bench_scale (no simulator, no
+                    experiment harness, hence no sim.*/exp.* counters)
 
 Exits non-zero with a message on the first violation. Used by CI after the
-bench smoke runs, and by scripts/bench_table1_json.sh.
+bench smoke runs, and by scripts/bench_table1_json.sh /
+scripts/bench_scale_json.sh.
 """
 
 import json
@@ -14,25 +19,45 @@ import sys
 
 SCHEMA = "netsel-metrics-v1"
 
-# Counters every instrumented Table-1 run must register (values may be 0 —
-# e.g. the degradation counters are pre-registered by the bench even when no
-# placement ran through the service).
-REQUIRED_COUNTERS = [
-    "select.ctx.row_hits",
-    "select.ctx.row_misses",
-    "api.degradation.full",
-    "api.degradation.smoothed",
-    "api.degradation.prior",
-    "pool.tasks_run",
-    "pool.steals",
-    "sim.events",
-    "exp.trials",
-]
-
-REQUIRED_HISTOGRAMS = [
-    "exp.cell_s",
-    "select.latency_s.balanced",
-]
+# Counters/histograms every instrumented run of the given profile must
+# register (values may be 0 — e.g. the degradation counters are
+# pre-registered by the bench even when no placement ran through the
+# service).
+PROFILES = {
+    "table1": {
+        "counters": [
+            "select.ctx.row_hits",
+            "select.ctx.row_misses",
+            "api.degradation.full",
+            "api.degradation.smoothed",
+            "api.degradation.prior",
+            "pool.tasks_run",
+            "pool.steals",
+            "sim.events",
+            "exp.trials",
+        ],
+        "histograms": [
+            "exp.cell_s",
+            "select.latency_s.balanced",
+        ],
+    },
+    "scale": {
+        "counters": [
+            "select.ctx.row_hits",
+            "select.ctx.row_misses",
+            "select.prune.dropped",
+            "select.selections",
+            "api.degradation.full",
+            "api.degradation.smoothed",
+            "api.degradation.prior",
+        ],
+        "histograms": [
+            "select.latency_s.balanced",
+            "select.latency_s.max_bandwidth",
+            "select.latency_s.max_compute",
+        ],
+    },
+}
 
 
 def fail(msg):
@@ -40,7 +65,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_metrics(path):
+def check_metrics(path, profile):
     with open(path) as f:
         doc = json.load(f)
 
@@ -50,7 +75,7 @@ def check_metrics(path):
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         fail(f"{path}: 'counters' missing or not an object")
-    for name in REQUIRED_COUNTERS:
+    for name in PROFILES[profile]["counters"]:
         if name not in counters:
             fail(f"{path}: required counter {name!r} missing")
         if not isinstance(counters[name], int) or counters[name] < 0:
@@ -59,7 +84,7 @@ def check_metrics(path):
     hists = doc.get("histograms")
     if not isinstance(hists, dict):
         fail(f"{path}: 'histograms' missing or not an object")
-    for name in REQUIRED_HISTOGRAMS:
+    for name in PROFILES[profile]["histograms"]:
         if name not in hists:
             fail(f"{path}: required histogram {name!r} missing")
     for name, h in hists.items():
@@ -109,12 +134,20 @@ def check_trace(path):
 
 
 def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
+    args = argv[1:]
+    profile = "table1"
+    if args and args[0] == "--profile":
+        if len(args) < 2 or args[1] not in PROFILES:
+            print(__doc__, file=sys.stderr)
+            return 2
+        profile = args[1]
+        args = args[2:]
+    if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         return 2
-    check_metrics(argv[1])
-    if len(argv) == 3:
-        check_trace(argv[2])
+    check_metrics(args[0], profile)
+    if len(args) == 2:
+        check_trace(args[1])
     return 0
 
 

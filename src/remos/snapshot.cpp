@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace netsel::remos {
 
 NetworkSnapshot::NetworkSnapshot(const topo::TopologyGraph& g)
@@ -92,6 +94,24 @@ double NetworkSnapshot::path_bw(const std::vector<topo::LinkId>& links) const {
   double b = std::numeric_limits<double>::infinity();
   for (topo::LinkId l : links) b = std::min(b, bw(l));
   return b;
+}
+
+void apply_synthetic_load(NetworkSnapshot& snap, std::uint64_t seed,
+                          double max_loadavg, double max_utilisation) {
+  if (max_loadavg < 0.0 || max_utilisation < 0.0 || max_utilisation > 1.0)
+    throw std::invalid_argument(
+        "apply_synthetic_load: max_loadavg must be >= 0 and max_utilisation "
+        "in [0,1]");
+  util::Rng rng(seed);
+  const topo::TopologyGraph& g = snap.graph();
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    auto n = static_cast<topo::NodeId>(i);
+    if (g.is_compute(n)) snap.set_loadavg(n, rng.uniform(0.0, max_loadavg));
+  }
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    snap.set_bw(id, snap.maxbw(id) * (1.0 - rng.uniform(0.0, max_utilisation)));
+  }
 }
 
 NetworkSnapshot project_snapshot(const NetworkSnapshot& parent,

@@ -88,6 +88,16 @@ class NetworkSnapshot {
   std::vector<double> bw_dir_;       // per link direction (2 per link)
 };
 
+/// Seeded synthetic availability for scale benchmarks and generated
+/// topologies (topo/synthetic.hpp): every compute node gets a load average
+/// drawn uniformly from [0, max_loadavg] and every link an utilisation drawn
+/// uniformly from [0, max_utilisation] (both directions equal), in id order
+/// from util::Rng(seed) — deterministic across platforms. The graph's static
+/// capacities are untouched; only the dynamic state moves.
+void apply_synthetic_load(NetworkSnapshot& snap, std::uint64_t seed,
+                          double max_loadavg = 4.0,
+                          double max_utilisation = 0.9);
+
 /// Project a snapshot of the parent topology onto an extracted logical
 /// sub-topology (§2.2 "the relevant part of the network"): availability of
 /// surviving nodes and links carries over. The returned snapshot views

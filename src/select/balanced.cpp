@@ -14,20 +14,36 @@
 // improvement (or, with exhaustive_balanced, when no component can host the
 // application).
 //
-// Fast path (acyclic topologies, the paper's setting): the whole deletion
-// history is a laminar family. Replaying the deletion sequence backwards as
-// insertions through a union-find yields a binary merge forest whose nodes
-// are exactly the components that ever exist during the forward sweep; on a
-// forest every component's min-fraction is constant over its lifetime
-// (min of the creating link's fraction and the children's minima), because
-// all its internal links outlive it. The forward sweep then needs to
-// evaluate only the two components born at each deletion: any *unchanged*
-// component was already compared against `best` when it appeared and `best`
-// never decreases, so it can never win later under the strict-improvement
-// rule. That turns O(E) component sweeps each doing O(V+E) work into one
-// near-linear replay plus one candidate evaluation per split — bit-identical
-// to detail::reference_select_balanced (the literal loop, still used for
-// cyclic graphs and the Steiner ablation); see tests/test_select_context.cpp.
+// Fast path: the component history of the deletion sweep is a laminar
+// family. Replaying the deletion sequence backwards as insertions through a
+// union-find yields a binary merge forest whose nodes are exactly the
+// components that ever exist during the forward sweep. The forward sweep
+// then needs to evaluate only the components that *changed* at each
+// deletion: any unchanged component was already compared against `best`
+// when it last changed and `best` never decreases, so it can never win
+// later under the strict-improvement rule.
+//
+// On acyclic graphs every deletion splits a component and each component's
+// min-fraction is constant over its lifetime (all its internal links
+// outlive it), so the only events are splits. On cyclic graphs — the
+// datacenter fat-trees and core--edge fabrics of topo/synthetic.hpp — a
+// deletion may instead remove a *cycle* link: the component's membership
+// (hence its top-m and feasibility) is unchanged, but its internal
+// min-fraction rises to the next-surviving internal link's. Because the
+// deletion sequence is sorted ascending by fraction and the reverse replay
+// inserts it back-to-front, a component's min-fraction internal link is
+// always its most recently inserted one; tracking the minimum deletion-
+// sequence position per live reverse component therefore gives, for every
+// cycle insertion, the exact min-fraction the component assumes after the
+// corresponding forward deletion. Each forward step then processes one
+// recorded event — a split (evaluate the two newborn halves) or a cycle
+// (re-evaluate the one surviving component with its raised min-fraction).
+//
+// That turns O(E) component sweeps each doing O(V+E) work into one
+// near-linear replay plus one candidate evaluation per event —
+// bit-identical to detail::reference_select_balanced (the literal loop,
+// still used for the Steiner ablation, whose bandwidth term is not a
+// per-component constant); see tests/test_select_context.cpp.
 
 #include <algorithm>
 #include <limits>
@@ -39,6 +55,7 @@
 #include "select/detail.hpp"
 #include "select/objective.hpp"
 #include "select/obs.hpp"
+#include "select/prune.hpp"
 #include "select/reference.hpp"
 #include "topo/connectivity.hpp"
 
@@ -47,6 +64,7 @@ namespace netsel::select {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
 
 /// A component in the merge forest: either a single node (leaf) or the union
 /// of two children merged by the link whose forward deletion splits it.
@@ -120,6 +138,10 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   const int m = opt.num_nodes;
 
   auto elig = ctx.eligibility(opt);
+  // Feasibility (ForestNode::eligible, feasible_live) uses the full eligible
+  // set; the top-m ranking lists drop dominated candidates
+  // (winner-preserving, see select/prune.hpp).
+  const auto cand = dominated_candidate_mask(snap, opt, elig);
 
   // The active deletion sequence: links ascending by (fraction, id) — the
   // order min_fraction_link produces — minus those failing the fixed
@@ -159,9 +181,16 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   for (std::size_t n = 0; n < V; ++n)
     if (elig[n]) cpu[n] = node_cpu(snap, static_cast<topo::NodeId>(n), opt);
 
-  // Reverse replay: insert links back-to-front, recording the component born
-  // at each merge. split_at[p] is the forest node that forward step p
-  // (deleting seq[p-1]) splits into its two children.
+  // Reverse replay: insert links back-to-front. A merge records the newborn
+  // component (split_at[p] is the forest node forward step p splits into its
+  // children); a cycle insertion records a re-evaluation event for the one
+  // component it lands in (cycle_at[p] / cycle_minfrac[p]). min_pos[root]
+  // tracks the minimum deletion-sequence position among a live reverse
+  // component's internal links: insertions run back-to-front over an
+  // ascending-fraction sequence, so the most recent internal insertion is
+  // both the position minimum and the fraction minimum. When forward step
+  // i+1 deletes cycle link seq[i], the component's min-fraction becomes the
+  // fraction at the position minimum *before* that insertion.
   std::vector<ForestNode> forest;
   forest.reserve(V + steps);
   std::vector<int> forest_of_root(V);
@@ -171,16 +200,34 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
     fn.leaf = static_cast<topo::NodeId>(i);
     fn.eligible = elig[i] ? 1 : 0;
     fn.min_id = fn.leaf;
-    if (fn.eligible) fn.top.push_back(fn.leaf);
+    if (cand[i]) fn.top.push_back(fn.leaf);
     forest.push_back(fn);
     forest_of_root[i] = static_cast<int>(i);
   }
   topo::EligibleUnionFind uf(elig);
   std::vector<int> split_at(steps + 1, -1);
+  std::vector<int> cycle_at(steps + 1, -1);
+  std::vector<double> cycle_minfrac(steps + 1, kInf);
+  std::vector<std::size_t> min_pos(V, kNoPos);
   for (std::size_t i = steps; i-- > 0;) {
     const topo::Link& lk = g.link(seq[i]);
-    const int fa = forest_of_root[static_cast<std::size_t>(uf.find(lk.a))];
-    const int fb = forest_of_root[static_cast<std::size_t>(uf.find(lk.b))];
+    const topo::NodeId ra = uf.find(lk.a);
+    const topo::NodeId rb = uf.find(lk.b);
+    if (ra == rb) {
+      // Cycle link: membership unchanged; forward deletion raises the
+      // component's min-fraction to its next-surviving internal link's.
+      const int f = forest_of_root[static_cast<std::size_t>(ra)];
+      const std::size_t old = min_pos[static_cast<std::size_t>(ra)];
+      cycle_at[i + 1] = f;
+      cycle_minfrac[i + 1] =
+          old == kNoPos ? kInf : frac[static_cast<std::size_t>(seq[old])];
+      forest[static_cast<std::size_t>(f)].minfrac =
+          frac[static_cast<std::size_t>(seq[i])];
+      min_pos[static_cast<std::size_t>(ra)] = i;
+      continue;
+    }
+    const int fa = forest_of_root[static_cast<std::size_t>(ra)];
+    const int fb = forest_of_root[static_cast<std::size_t>(rb)];
     ForestNode fn;
     fn.left = fa;
     fn.right = fb;
@@ -188,16 +235,16 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
                   forest[static_cast<std::size_t>(fb)].eligible;
     fn.min_id = std::min(forest[static_cast<std::size_t>(fa)].min_id,
                          forest[static_cast<std::size_t>(fb)].min_id);
-    fn.minfrac = std::min(
-        std::min(forest[static_cast<std::size_t>(fa)].minfrac,
-                 forest[static_cast<std::size_t>(fb)].minfrac),
-        frac[static_cast<std::size_t>(seq[i])]);
+    // seq[i] precedes every already-inserted internal link in the ascending
+    // deletion order, so it is the new component's fraction minimum.
+    fn.minfrac = frac[static_cast<std::size_t>(seq[i])];
     fn.top = merge_top(cpu, forest[static_cast<std::size_t>(fa)].top,
                        forest[static_cast<std::size_t>(fb)].top, mm);
     const int idx = static_cast<int>(forest.size());
     forest.push_back(fn);
     const topo::NodeId r = uf.unite(lk.a, lk.b);
     forest_of_root[static_cast<std::size_t>(r)] = idx;
+    min_pos[static_cast<std::size_t>(r)] = i;
     split_at[i + 1] = idx;
   }
 
@@ -236,27 +283,40 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
     return result;
   }
 
-  // Steps 1..E: deletion p splits exactly one component; only its two halves
-  // are new, and only new components can beat `best` (see header comment).
-  // Children compare in ascending-min-id order, matching the literal loop's
-  // component-id order.
+  // Steps 1..E: deletion p changes exactly one component — it either splits
+  // (evaluate the two newborn halves, in ascending-min-id order to match
+  // the literal loop's component-id order) or loses a cycle link
+  // (re-evaluate it with its raised min-fraction; membership and
+  // feasibility are unchanged). Only changed components can beat `best`
+  // (see header comment).
   for (std::size_t p = 1; p <= steps; ++p) {
     ++result.iterations;
-    const int d = split_at[p];
-    int a = forest[static_cast<std::size_t>(d)].left;
-    int b = forest[static_cast<std::size_t>(d)].right;
-    if (forest[static_cast<std::size_t>(a)].min_id >
-        forest[static_cast<std::size_t>(b)].min_id)
-      std::swap(a, b);
-    if (forest[static_cast<std::size_t>(d)].eligible >= m) --feasible_live;
     bool newsetflag = false;
-    for (int f : {a, b}) {
-      if (forest[static_cast<std::size_t>(f)].eligible < m) continue;
-      ++feasible_live;
-      auto cand = evaluate_forest_node(cpu, opt, forest, f);
-      if (cand.minresource > best.minresource) {
-        best = std::move(cand);
-        newsetflag = true;
+    if (const int d = split_at[p]; d != -1) {
+      int a = forest[static_cast<std::size_t>(d)].left;
+      int b = forest[static_cast<std::size_t>(d)].right;
+      if (forest[static_cast<std::size_t>(a)].min_id >
+          forest[static_cast<std::size_t>(b)].min_id)
+        std::swap(a, b);
+      if (forest[static_cast<std::size_t>(d)].eligible >= m) --feasible_live;
+      for (int f : {a, b}) {
+        if (forest[static_cast<std::size_t>(f)].eligible < m) continue;
+        ++feasible_live;
+        auto cand = evaluate_forest_node(cpu, opt, forest, f);
+        if (cand.minresource > best.minresource) {
+          best = std::move(cand);
+          newsetflag = true;
+        }
+      }
+    } else {
+      const int f = cycle_at[p];
+      forest[static_cast<std::size_t>(f)].minfrac = cycle_minfrac[p];
+      if (forest[static_cast<std::size_t>(f)].eligible >= m) {
+        auto cand = evaluate_forest_node(cpu, opt, forest, f);
+        if (cand.minresource > best.minresource) {
+          best = std::move(cand);
+          newsetflag = true;
+        }
       }
     }
     if (opt.exhaustive_balanced ? feasible_live == 0 : !newsetflag) break;
@@ -277,10 +337,11 @@ SelectionResult select_balanced(const SelectionContext& ctx,
   detail::selections_counter().inc();
   obs::ScopedTimer timer(detail::criterion_latency_hist(Criterion::Balanced));
   validate_options(ctx.snapshot(), opt);
-  // The merge-forest argument needs unique per-component link sets, i.e. a
-  // forest; the Steiner ablation re-derives its link set per candidate. Both
-  // fall back to the literal Fig. 3 loop.
-  if (!ctx.acyclic() || opt.steiner_restricted)
+  // The merge-forest replay handles cyclic graphs via cycle events; only
+  // the Steiner ablation — whose bandwidth term is re-derived per candidate
+  // rather than being a per-component constant — falls back to the literal
+  // Fig. 3 loop.
+  if (opt.steiner_restricted)
     return detail::reference_select_balanced(ctx.snapshot(), opt);
   return select_balanced_forest(ctx, opt);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netsel::select {
 
@@ -59,6 +60,13 @@ void SelectionContext::revalidate() const {
 bool SelectionContext::acyclic() const {
   if (acyclic_ == -1) acyclic_ = graph().is_acyclic() ? 1 : 0;
   return acyclic_ == 1;
+}
+
+const topo::CsrAdjacency& SelectionContext::csr() const {
+  if (!csr_)
+    csr_ = std::make_unique<topo::CsrAdjacency>(
+        topo::CsrAdjacency::build(graph()));
+  return *csr_;
 }
 
 const std::vector<double>& SelectionContext::link_bw() const {
@@ -133,8 +141,8 @@ const std::vector<topo::LinkId>& SelectionContext::links_by_fraction(
 const topo::Components& SelectionContext::base_components() const {
   revalidate();
   if (!base_comps_) {
-    base_comps_ = std::make_unique<topo::Components>(
-        topo::connected_components(graph()));
+    base_comps_ =
+        std::make_unique<topo::Components>(topo::connected_components(csr()));
   }
   return *base_comps_;
 }
@@ -148,11 +156,36 @@ const topo::BottleneckRow& SelectionContext::pair_row(topo::NodeId src) const {
   if (!slot) {
     row_misses().inc();
     slot = std::make_unique<topo::BottleneckRow>(
-        topo::bottleneck_row(graph(), src, bw, f));
+        topo::bottleneck_row(csr(), src, bw, f));
   } else {
     row_hits().inc();
   }
   return *slot;
+}
+
+void SelectionContext::warm_rows(
+    util::ThreadPool& pool, const std::vector<topo::NodeId>& sources) const {
+  const auto& bw = link_bw();
+  const auto& f = link_bwfactor();
+  const auto& adj = csr();
+  if (rows_.size() != graph().node_count()) rows_.resize(graph().node_count());
+  std::vector<char> queued(graph().node_count(), 0);
+  std::vector<topo::NodeId> todo;
+  for (topo::NodeId src : sources) {
+    const auto i = static_cast<std::size_t>(src);
+    if (rows_[i] || queued[i]) continue;
+    queued[i] = 1;
+    todo.push_back(src);
+  }
+  if (todo.empty()) return;
+  row_misses().inc(todo.size());
+  // Each task writes only its own pre-sized slot; the shared inputs are
+  // read-only, so the pool may schedule in any order.
+  util::parallel_for(pool, todo.size(), [&](std::size_t i) {
+    rows_[static_cast<std::size_t>(todo[i])] =
+        std::make_unique<topo::BottleneckRow>(
+            topo::bottleneck_row(adj, todo[i], bw, f));
+  });
 }
 
 std::vector<char> SelectionContext::eligibility(

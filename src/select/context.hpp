@@ -39,6 +39,10 @@
 #include "topo/connectivity.hpp"
 #include "topo/graph.hpp"
 
+namespace netsel::util {
+class ThreadPool;
+}
+
 namespace netsel::select {
 
 class SelectionContext {
@@ -57,6 +61,13 @@ class SelectionContext {
 
   /// Cached graph().is_acyclic() (a static property of the topology).
   bool acyclic() const;
+
+  /// Cached flat CSR view of the topology (graph-static, like acyclic()):
+  /// the adjacency the component and bottleneck kernels below run on, built
+  /// once per context. Preserves links_of() order, so BFS trees — and hence
+  /// every bottleneck value — are bit-identical to the TopologyGraph
+  /// kernels.
+  const topo::CsrAdjacency& csr() const;
 
   /// Available bandwidth per link, copied out of the snapshot (dense, for
   /// the kernels below).
@@ -103,6 +114,14 @@ class SelectionContext {
   /// Options-dependent, so computed per call — O(V), not cached.
   std::vector<char> eligibility(const SelectionOptions& opt) const;
 
+  /// Build the pair_row() cache entries for `sources` on a thread pool
+  /// (duplicates and already-built rows are skipped; each build counts as a
+  /// row miss). Safe because every row lands in its own pre-sized slot; no
+  /// other accessor may run concurrently — warm, then query. A zero-worker
+  /// pool degenerates to the serial build order.
+  void warm_rows(util::ThreadPool& pool,
+                 const std::vector<topo::NodeId>& sources) const;
+
  private:
   /// Drop every epoch-keyed cache if the snapshot has moved on.
   void revalidate() const;
@@ -110,6 +129,7 @@ class SelectionContext {
   const remos::NetworkSnapshot* snap_;
   mutable std::uint64_t epoch_;
   mutable int acyclic_ = -1;  // tri-state: unknown / no / yes (graph-static)
+  mutable std::unique_ptr<topo::CsrAdjacency> csr_;  // graph-static
   mutable std::vector<double> bw_;
   mutable std::vector<double> bwfactor_;
   mutable std::vector<topo::LinkId> by_bw_;

@@ -37,6 +37,27 @@ inline std::vector<int> eligible_counts(const remos::NetworkSnapshot& snap,
   return counts;
 }
 
+/// Members of component `c` with `mask` set, in id order. Used with the
+/// candidate mask from select/prune.hpp, which may be a strict subset of
+/// the eligible set.
+inline std::vector<topo::NodeId> members_in_component(
+    const std::vector<char>& mask, const topo::Components& comps, int c) {
+  std::vector<topo::NodeId> out;
+  for (std::size_t i = 0; i < comps.comp_of.size(); ++i)
+    if (comps.comp_of[i] == c && mask[i])
+      out.push_back(static_cast<topo::NodeId>(i));
+  return out;
+}
+
+/// Per-component count of nodes with `mask` set.
+inline std::vector<int> counts_in_components(const std::vector<char>& mask,
+                                             const topo::Components& comps) {
+  std::vector<int> counts(static_cast<std::size_t>(comps.count), 0);
+  for (std::size_t i = 0; i < comps.comp_of.size(); ++i)
+    if (mask[i]) counts[static_cast<std::size_t>(comps.comp_of[i])]++;
+  return counts;
+}
+
 /// The m members with the highest cpu (ties toward lower node id, which is
 /// deterministic and matches "any m nodes" in the paper). `members` must
 /// contain at least m nodes.

@@ -50,6 +50,11 @@ struct SelectionOptions {
   /// architecture-constrained groups.
   std::vector<char> eligible;
 
+  /// Drop dominated degree-1 candidates before ranking (select/prune.hpp).
+  /// Provably winner-preserving; exposed so benchmarks and the oracle tests
+  /// can compare pruned vs unpruned runs.
+  bool prune_dominated = true;
+
   /// Ablation: compute the Fig.-3 bandwidth term over only the links on
   /// paths between the chosen nodes (a Steiner restriction) instead of all
   /// links of the surviving component as the paper specifies.

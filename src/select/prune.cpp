@@ -1,0 +1,94 @@
+#include "select/prune.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace netsel::select {
+
+namespace {
+
+obs::Counter& dropped_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.prune.dropped");
+  return c;
+}
+
+/// Pruning is an optimisation that is always allowed to under-prune: groups
+/// larger than this skip the quadratic dominator count rather than risk
+/// O(k^2) work on a 10k-host star.
+constexpr std::size_t kMaxGroupSize = 4096;
+
+struct GroupEntry {
+  topo::NodeId node;
+  topo::LinkId link;
+  double bw;
+  double frac;
+  double cpu;
+};
+
+/// The top_m_by_cpu ranking order: (cpu desc, id asc).
+bool rank_before(const GroupEntry& a, const GroupEntry& b) {
+  return a.cpu > b.cpu || (a.cpu == b.cpu && a.node < b.node);
+}
+
+/// A's link strictly follows B's in an ascending (key, link id) deletion
+/// order, i.e. A's link survives at least as long as B's.
+bool outlives(double key_a, topo::LinkId la, double key_b, topo::LinkId lb) {
+  return key_a > key_b || (key_a == key_b && la > lb);
+}
+
+}  // namespace
+
+std::vector<char> dominated_candidate_mask(const remos::NetworkSnapshot& snap,
+                                           const SelectionOptions& opt,
+                                           const std::vector<char>& eligible) {
+  std::vector<char> cand = eligible;
+  if (!opt.prune_dominated || opt.num_nodes < 2) return cand;
+  const auto& g = snap.graph();
+  const auto m = static_cast<std::size_t>(opt.num_nodes);
+
+  // Bucket eligible degree-1 hosts by their attachment node.
+  std::vector<std::vector<GroupEntry>> groups(g.node_count());
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (!eligible[i]) continue;
+    auto n = static_cast<topo::NodeId>(i);
+    auto links = g.links_of(n);
+    if (links.size() != 1) continue;
+    GroupEntry e;
+    e.node = n;
+    e.link = links[0];
+    e.bw = snap.bw(e.link);
+    e.frac = link_fraction(snap, e.link, opt);
+    e.cpu = node_cpu(snap, n, opt);
+    groups[static_cast<std::size_t>(g.other_end(e.link, n))].push_back(e);
+  }
+
+  std::uint64_t dropped = 0;
+  std::vector<GroupEntry> ranked;
+  for (auto& group : groups) {
+    if (group.size() <= m || group.size() > kMaxGroupSize) continue;
+    // Rank the group once; only rank-better entries can dominate, so each
+    // node scans its prefix and stops at m dominators.
+    ranked = group;
+    std::sort(ranked.begin(), ranked.end(), rank_before);
+    for (std::size_t r = m; r < ranked.size(); ++r) {
+      const GroupEntry& b = ranked[r];
+      std::size_t dominators = 0;
+      for (std::size_t q = 0; q < r && dominators < m; ++q) {
+        const GroupEntry& a = ranked[q];
+        if (outlives(a.bw, a.link, b.bw, b.link) &&
+            outlives(a.frac, a.link, b.frac, b.link))
+          ++dominators;
+      }
+      if (dominators >= m) {
+        cand[static_cast<std::size_t>(b.node)] = 0;
+        ++dropped;
+      }
+    }
+  }
+  if (dropped > 0) dropped_counter().inc(dropped);
+  return cand;
+}
+
+}  // namespace netsel::select

@@ -1,0 +1,53 @@
+#pragma once
+// Dominated-candidate pruning for the selection hot paths.
+//
+// On datacenter-scale topologies (topo/synthetic.hpp) most hosts hang off a
+// shared leaf switch, and most of them can never be selected: a host whose
+// NIC bandwidth AND fractional cpu are both dominated by >= m siblings on
+// the same switch is outranked wherever it goes (Bender et al. make the
+// same observation for communication-aware processor allocation — the
+// search stays tractable at scale only with aggressive candidate pruning).
+//
+// Soundness is exact, not heuristic. Host B (eligible, degree 1, attached
+// to S) is dropped from the candidate set only when at least m nodes A
+// (eligible, degree 1, attached to the same S) satisfy all of
+//
+//   (bw_A,  link_A) >=lex (bw_B,  link_B)    -- A's link outlives B's in
+//   (frac_A, link_A) >=lex (frac_B, link_B)     both deletion orders
+//   cpu-rank(A) before cpu-rank(B)           -- (cpu desc, id asc), the
+//                                               top_m_by_cpu order
+//
+// Whenever B sits in a component with >= 2 nodes, its own link is active,
+// hence S and all m dominators' links are active too (their links follow
+// B's in the Fig. 2 (bw, id) and Fig. 3 (fraction, id) deletion sequences),
+// so the component contains m members outranking B: B can never appear in
+// any top-m selection. Dominators are counted regardless of their own
+// pruned status (the argument needs their presence, not their candidacy),
+// and pruning is skipped entirely for m == 1 (a host can then win as a
+// lone singleton component where its dominators are absent).
+//
+// Crucially, pruned nodes must STILL count toward per-component eligible
+// totals — Fig. 2 picks the component with the most eligible nodes and
+// every feasibility test compares eligible counts against m — so the
+// algorithms keep their eligibility vectors intact and drop pruned nodes
+// from candidate/ranking lists only. The reference implementations
+// (select/reference.hpp) never prune; tests assert bit-identical winners
+// on every generated topology (tests/test_select_prune.cpp).
+
+#include <vector>
+
+#include "remos/snapshot.hpp"
+#include "select/options.hpp"
+
+namespace netsel::select {
+
+/// Candidate mask under `opt`: a copy of `eligible` with dominated nodes
+/// cleared. Returns `eligible` unchanged when opt.prune_dominated is false
+/// or opt.num_nodes < 2. `eligible` must have one entry per node (as
+/// returned by SelectionContext::eligibility). Increments the
+/// select.prune.dropped counter by the number of nodes cleared.
+std::vector<char> dominated_candidate_mask(const remos::NetworkSnapshot& snap,
+                                           const SelectionOptions& opt,
+                                           const std::vector<char>& eligible);
+
+}  // namespace netsel::select

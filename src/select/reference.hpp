@@ -10,9 +10,10 @@
 //
 // They serve two purposes: (1) the golden-equivalence oracle — the
 // refactored context-based algorithms must select identical node sets
-// (tests/test_select_context.cpp) — and (2) the general-case fallback for
-// inputs outside the fast kernels' domain (cyclic topologies for the
-// Fig. 3 offline replay, the Steiner-restricted ablation).
+// (tests/test_select_context.cpp, tests/test_select_prune.cpp) — and
+// (2) the general-case fallback for inputs outside the fast kernels'
+// domain (the Steiner-restricted ablation, whose bandwidth term is not a
+// per-component constant).
 //
 // reference_evaluate_set keeps the historical single-node convention
 // (min_pair_bw = +infinity); the production evaluate_set now reports the

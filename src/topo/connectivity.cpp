@@ -52,6 +52,69 @@ Components connected_components(const TopologyGraph& g) {
   return connected_components(g, all);
 }
 
+CsrAdjacency CsrAdjacency::build(const TopologyGraph& g) {
+  CsrAdjacency adj;
+  const std::size_t V = g.node_count();
+  const std::size_t E = g.link_count();
+  adj.row_start.assign(V + 1, 0);
+  adj.neighbor.reserve(2 * E);
+  adj.via.reserve(2 * E);
+  for (std::size_t n = 0; n < V; ++n) {
+    auto id = static_cast<NodeId>(n);
+    for (LinkId l : g.links_of(id)) {
+      adj.neighbor.push_back(g.other_end(l, id));
+      adj.via.push_back(l);
+    }
+    adj.row_start[n + 1] = static_cast<std::int32_t>(adj.neighbor.size());
+  }
+  adj.link_latency.resize(E);
+  for (std::size_t l = 0; l < E; ++l)
+    adj.link_latency[l] = g.link(static_cast<LinkId>(l)).latency;
+  adj.is_compute.resize(V);
+  for (std::size_t n = 0; n < V; ++n)
+    adj.is_compute[n] = g.is_compute(static_cast<NodeId>(n)) ? 1 : 0;
+  return adj;
+}
+
+Components connected_components(const CsrAdjacency& adj,
+                                const std::vector<char>& link_active) {
+  if (link_active.size() != adj.link_count())
+    throw std::invalid_argument("connected_components: mask size mismatch");
+  Components result;
+  result.comp_of.assign(adj.node_count(), -1);
+  std::vector<NodeId> stack;
+  for (std::size_t start = 0; start < adj.node_count(); ++start) {
+    if (result.comp_of[start] != -1) continue;
+    int c = result.count++;
+    result.compute_count.push_back(0);
+    result.node_count.push_back(0);
+    stack.push_back(static_cast<NodeId>(start));
+    result.comp_of[start] = c;
+    while (!stack.empty()) {
+      const auto iu = static_cast<std::size_t>(stack.back());
+      stack.pop_back();
+      result.node_count[static_cast<std::size_t>(c)]++;
+      if (adj.is_compute[iu]) result.compute_count[static_cast<std::size_t>(c)]++;
+      const auto lo = static_cast<std::size_t>(adj.row_start[iu]);
+      const auto hi = static_cast<std::size_t>(adj.row_start[iu + 1]);
+      for (std::size_t e = lo; e < hi; ++e) {
+        if (!link_active[static_cast<std::size_t>(adj.via[e])]) continue;
+        const auto iv = static_cast<std::size_t>(adj.neighbor[e]);
+        if (result.comp_of[iv] == -1) {
+          result.comp_of[iv] = c;
+          stack.push_back(adj.neighbor[e]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Components connected_components(const CsrAdjacency& adj) {
+  std::vector<char> all(adj.link_count(), 1);
+  return connected_components(adj, all);
+}
+
 EligibleUnionFind::EligibleUnionFind(const std::vector<char>& eligible)
     : parent_(eligible.size()),
       size_(eligible.size(), 1),
@@ -125,6 +188,47 @@ BottleneckRow bottleneck_row(const TopologyGraph& g, NodeId src,
         row.bottleneck2[iv] = std::min(row.bottleneck2[iu], weight2[il]);
       row.latency[iv] = row.latency[iu] + g.link(l).latency;
       q.push(v);
+    }
+  }
+  return row;
+}
+
+BottleneckRow bottleneck_row(const CsrAdjacency& adj, NodeId src,
+                             std::span<const double> weight,
+                             std::span<const double> weight2) {
+  if (weight.size() != adj.link_count())
+    throw std::invalid_argument("bottleneck_row: weight size mismatch");
+  if (!weight2.empty() && weight2.size() != adj.link_count())
+    throw std::invalid_argument("bottleneck_row: weight2 size mismatch");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = adj.node_count();
+  BottleneckRow row;
+  row.bottleneck.assign(n, 0.0);
+  if (!weight2.empty()) row.bottleneck2.assign(n, 0.0);
+  row.latency.assign(n, 0.0);
+  row.reached.assign(n, 0);
+  row.bottleneck[static_cast<std::size_t>(src)] = kInf;
+  if (!weight2.empty()) row.bottleneck2[static_cast<std::size_t>(src)] = kInf;
+  row.reached[static_cast<std::size_t>(src)] = 1;
+  // Flat FIFO frontier: a node enters at most once, so a vector with a read
+  // cursor is the same queue discipline as the graph-walking overload.
+  std::vector<NodeId> fifo;
+  fifo.reserve(n);
+  fifo.push_back(src);
+  for (std::size_t head = 0; head < fifo.size(); ++head) {
+    const auto iu = static_cast<std::size_t>(fifo[head]);
+    const auto lo = static_cast<std::size_t>(adj.row_start[iu]);
+    const auto hi = static_cast<std::size_t>(adj.row_start[iu + 1]);
+    for (std::size_t e = lo; e < hi; ++e) {
+      const auto iv = static_cast<std::size_t>(adj.neighbor[e]);
+      if (row.reached[iv]) continue;
+      row.reached[iv] = 1;
+      const auto il = static_cast<std::size_t>(adj.via[e]);
+      row.bottleneck[iv] = std::min(row.bottleneck[iu], weight[il]);
+      if (!weight2.empty())
+        row.bottleneck2[iv] = std::min(row.bottleneck2[iu], weight2[il]);
+      row.latency[iv] = row.latency[iu] + adj.link_latency[il];
+      fifo.push_back(adj.neighbor[e]);
     }
   }
   return row;

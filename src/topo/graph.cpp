@@ -14,11 +14,13 @@ bool Node::has_tag(std::string_view t) const {
 
 NodeId TopologyGraph::add_node(Node n) {
   if (n.name.empty()) throw std::invalid_argument("node name must be non-empty");
-  if (find_node(n.name))
+  if (name_index_.contains(n.name))
     throw std::invalid_argument("duplicate node name: " + n.name);
+  auto id = static_cast<NodeId>(nodes_.size());
+  name_index_.emplace(n.name, id);
   nodes_.push_back(std::move(n));
   incident_.emplace_back();
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return id;
 }
 
 NodeId TopologyGraph::add_compute(std::string name, double cpu_capacity,
@@ -104,10 +106,9 @@ NodeId TopologyGraph::other_end(LinkId l, NodeId n) const {
 }
 
 std::optional<NodeId> TopologyGraph::find_node(std::string_view name) const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name == name) return static_cast<NodeId>(i);
-  }
-  return std::nullopt;
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<NodeId> TopologyGraph::compute_nodes() const {

@@ -8,10 +8,12 @@
 // varying `bw(i,j)` lives in remos::NetworkSnapshot.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace netsel::topo {
@@ -119,9 +121,22 @@ class TopologyGraph {
  private:
   NodeId add_node(Node n);
 
+  /// Heterogeneous string hashing so find_node(string_view) needs no
+  /// temporary std::string.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> incident_;
+  /// name -> id. Keeps graph construction O(V + E) — the synthetic
+  /// datacenter generators build 10k+-node graphs, where the linear-scan
+  /// lookup add_node used for duplicate detection was quadratic.
+  std::unordered_map<std::string, NodeId, NameHash, std::equal_to<>> name_index_;
 };
 
 }  // namespace netsel::topo

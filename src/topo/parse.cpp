@@ -132,6 +132,19 @@ double parse_bytes_at(std::string_view text, int line) {
   return v;
 }
 
+/// Run a graph mutation on behalf of the directive at `line`; graph-level
+/// rejections (duplicate names, self loops, non-positive capacities) become
+/// ParseErrors citing that line, so every malformed-input diagnostic names
+/// the offending line (see docs/TOPO_FORMAT.md).
+template <typename Fn>
+decltype(auto) at_line(int line, Fn&& fn) {
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(line, e.what());
+  }
+}
+
 }  // namespace
 
 ParseError::ParseError(int line, const std::string& message)
@@ -175,7 +188,7 @@ TopologyGraph parse_topology(std::string_view text) {
       if (kind == "router" || kind == "switch") {
         if (tokens.size() > 3)
           throw ParseError(line_no, "network nodes take no options");
-        g.add_network(name);
+        at_line(line_no, [&] { return g.add_network(name); });
       } else if (kind == "compute") {
         double capacity = 1.0;
         double memory = 0.0;
@@ -194,8 +207,10 @@ TopologyGraph parse_topology(std::string_view text) {
             throw ParseError(line_no, "unknown node option '" + key + "'");
           }
         }
-        NodeId id = g.add_compute(name, capacity, std::move(tags));
-        if (memory > 0.0) g.set_memory(id, memory);
+        at_line(line_no, [&] {
+          NodeId id = g.add_compute(name, capacity, std::move(tags));
+          if (memory > 0.0) g.set_memory(id, memory);
+        });
       } else {
         throw ParseError(line_no,
                          "node kind must be compute/router/switch, got '" +
@@ -227,7 +242,7 @@ TopologyGraph parse_topology(std::string_view text) {
           throw ParseError(line_no, "unknown link option '" + key + "'");
         }
       }
-      g.add_link(*a, *b, std::move(spec));
+      at_line(line_no, [&] { return g.add_link(*a, *b, std::move(spec)); });
     } else {
       throw ParseError(line_no, "unknown directive '" + tokens[0] + "'");
     }

@@ -33,9 +33,12 @@ class ParseError : public std::runtime_error {
   int line_;
 };
 
-/// Parse a topology description; throws ParseError on malformed input and
-/// std::invalid_argument for graph-level violations (duplicate names etc.).
-/// The result is validated (connected, has compute nodes).
+/// Parse a topology description; throws ParseError — citing the 1-based
+/// line of the offending directive — for malformed input *and* for
+/// graph-level violations (duplicate names, self loops, bad capacities).
+/// Whole-file violations with no single offending line (empty graph,
+/// disconnected graph, no compute nodes) surface as std::invalid_argument
+/// from the final validation. See docs/TOPO_FORMAT.md for the grammar.
 TopologyGraph parse_topology(std::string_view text);
 
 /// Parse a bandwidth like "100Mbps", "2.5Gbps", "800000bps" to bits/second.

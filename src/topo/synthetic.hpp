@@ -1,0 +1,123 @@
+#pragma once
+// Synthetic datacenter-scale topology generators.
+//
+// The paper validates selection on an 18-node testbed (Fig. 4); the
+// generators here produce realistic fabrics at any size so the selection
+// stack can be exercised (and benchmarked — bench_scale) far beyond it:
+//
+//   - fat_tree: a two-level fat-tree in the style of Solnushkin's
+//     "Automated Design of Two-Layer Fat-Tree Networks" — edge switches
+//     each serving a fixed number of hosts, fully meshed to a core layer,
+//     parameterised by switch port count and oversubscription. Cyclic for
+//     core_switches >= 2 (every edge switch reaches every core switch).
+//   - campus_wan: a cluster-of-clusters campus WAN generalising
+//     examples/topologies/campus_wan.topo — per-campus gateway routers on a
+//     WAN core, building switches under each gateway, heterogeneous host
+//     capacities and memory. Acyclic (a tree of stars).
+//   - random_core_edge: a seeded random core--edge graph — a connected
+//     random core mesh with chord links, edge switches multi-homed to the
+//     core, hosts on random edge switches. Cyclic in general.
+//
+// Every generator is deterministic from the single seed in its options
+// struct and returns an ordinary validated TopologyGraph, so snapshots,
+// remos, selection, and the .topo serialiser (topo/parse.hpp's
+// format_topology) consume the output unchanged.
+
+#include <cstdint>
+
+#include "topo/generators.hpp"
+#include "topo/graph.hpp"
+
+namespace netsel::topo {
+
+inline constexpr double kGbps = 1e9;
+
+struct FatTreeOptions {
+  /// Bottom-layer switch count; hosts attach here.
+  int edge_switches = 8;
+  /// Hosts per edge switch (the switch's downlink ports).
+  int hosts_per_edge = 8;
+  /// Top-layer switch count; every edge switch uplinks to every core
+  /// switch (the switch's uplink ports).
+  int core_switches = 2;
+  /// Host NIC bandwidth.
+  double host_bw = k100Mbps;
+  /// Per edge->core uplink bandwidth.
+  double uplink_bw = kGbps;
+  /// One-way latency of host and uplink links.
+  double host_latency = 5e-6;
+  double uplink_latency = 10e-6;
+  /// Host cpu capacities are drawn uniformly from
+  /// [1 - cpu_jitter, 1 + cpu_jitter] (0 = homogeneous hosts).
+  double cpu_jitter = 0.0;
+  /// Physical memory per host in bytes; 0 leaves memory unmodelled.
+  double memory_bytes = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Build the two-level fat-tree. Node order: core switches, then per edge
+/// switch the switch followed by its hosts. Total nodes =
+/// core + edge * (1 + hosts_per_edge).
+TopologyGraph fat_tree(const FatTreeOptions& opt = {});
+
+/// Solnushkin-style sizing: dimension a fat-tree for at least `hosts` hosts
+/// from `switch_ports`-port edge switches at the given oversubscription
+/// ratio (downlink : uplink port count; 1 = non-blocking). Downlinks
+/// d = round(ports * r / (r + 1)), uplinks (= core switches) = ports - d,
+/// edge switches = ceil(hosts / d).
+FatTreeOptions fat_tree_for_hosts(int hosts, int switch_ports,
+                                  double oversubscription,
+                                  std::uint64_t seed = 1);
+
+struct CampusWanOptions {
+  int campuses = 3;
+  /// Building (leaf) switches per campus gateway.
+  int buildings_per_campus = 2;
+  int hosts_per_building = 4;
+  double host_bw = k100Mbps;
+  /// Building switch -> campus gateway trunk.
+  double building_bw = kGbps;
+  /// Campus gateway -> WAN core trunk.
+  double wan_bw = kGbps;
+  /// WAN trunk latencies drawn uniformly from this range (seconds).
+  double wan_latency_min = 1e-3;
+  double wan_latency_max = 8e-3;
+  /// Host cpu capacities drawn uniformly from [min, max].
+  double cpu_capacity_min = 0.75;
+  double cpu_capacity_max = 1.5;
+  /// Host memory drawn from {512MB, 1GB, 2GB} scaled by this factor;
+  /// 0 leaves memory unmodelled.
+  double memory_scale = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Build the cluster-of-clusters campus WAN (a tree: WAN core, per-campus
+/// gateways, building switches, hosts). Hosts carry a per-campus tag
+/// ("campus0", "campus1", ...) for placement constraints.
+TopologyGraph campus_wan(const CampusWanOptions& opt = {});
+
+struct RandomCoreEdgeOptions {
+  int core_switches = 4;
+  int edge_switches = 12;
+  int hosts = 64;
+  /// Core switches each edge switch uplinks to (multi-homing); clamped to
+  /// core_switches.
+  int uplinks_per_edge = 2;
+  /// Chord links added to the random core spanning tree, as a fraction of
+  /// core_switches (rounded down). Makes the core cyclic when > 0.
+  double extra_core_links = 0.5;
+  double core_bw_min = kGbps;
+  double core_bw_max = 4 * kGbps;
+  double uplink_bw = kGbps;
+  double host_bw_min = 10 * kMbps;
+  double host_bw_max = k100Mbps;
+  std::uint64_t seed = 1;
+};
+
+/// Build the seeded random core--edge graph: a random spanning tree over
+/// the core plus chords, edge switches multi-homed to distinct random core
+/// switches, hosts attached to random edge switches with heterogeneous NIC
+/// bandwidths.
+TopologyGraph random_core_edge(const RandomCoreEdgeOptions& opt = {});
+
+}  // namespace netsel::topo

@@ -241,7 +241,10 @@ TEST(CyclicGraphs, Fig2ReverseReplayHandlesCycles) {
   }
 }
 
-TEST(CyclicGraphs, BalancedFallsBackToReferenceLoop) {
+TEST(CyclicGraphs, BalancedMergeForestHandlesCycles) {
+  // Cycle deletions don't split a component — they raise its internal
+  // min-fraction. The merge-forest replay records those as re-evaluation
+  // events; check bit-identity against the literal loop on router cycles.
   for (std::uint64_t seed = 0; seed < 15; ++seed) {
     auto inst = cyclic_instance(seed);
     SelectionOptions opt;
@@ -251,6 +254,28 @@ TEST(CyclicGraphs, BalancedFallsBackToReferenceLoop) {
     expect_same_result(select_balanced(ctx, opt),
                        detail::reference_select_balanced(*inst.snap, opt),
                        "cyclic fig3 seed " + std::to_string(seed));
+  }
+}
+
+TEST(CyclicGraphs, BalancedHandlesCyclesUnderGeneralisations) {
+  // Same bit-identity with the §3.3 generalisations in play: reference
+  // capacities (rounded fractions), priorities, fixed requirements, and the
+  // exhaustive-sweep variant, all on cyclic graphs.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    auto inst = cyclic_instance(seed);
+    util::Rng rng(seed ^ 0xfeedULL);
+    SelectionOptions opt;
+    opt.num_nodes = static_cast<int>(seed % 4) + 1;
+    if (rng.bernoulli(0.5)) opt.reference_bw = topo::k100Mbps;
+    if (rng.bernoulli(0.5)) opt.cpu_priority = rng.uniform(0.5, 2.0);
+    if (rng.bernoulli(0.5)) opt.bw_priority = rng.uniform(0.5, 2.0);
+    if (rng.bernoulli(0.4)) opt.min_bw_bps = rng.uniform(0.0, 60e6);
+    if (rng.bernoulli(0.4)) opt.min_cpu_fraction = rng.uniform(0.0, 0.5);
+    opt.exhaustive_balanced = rng.bernoulli(0.5);
+    SelectionContext ctx(*inst.snap);
+    expect_same_result(select_balanced(ctx, opt),
+                       detail::reference_select_balanced(*inst.snap, opt),
+                       "cyclic general seed " + std::to_string(seed));
   }
 }
 

@@ -1,0 +1,226 @@
+// Tests for dominated-candidate pruning (select/prune.hpp).
+//
+// The pruned fast paths must stay bit-identical to the retained naive
+// references (select/reference.hpp) — the pruning claim is
+// winner-preserving, not approximate — so the oracle sweep runs every
+// synthetic-generator family at <= 64 nodes across seeds, m values, and
+// option variants, comparing node sets, objectives, and iteration counts.
+// Direct unit tests pin down the mask itself: what a leaf-switch group
+// drops, and the m < 2 / disabled short-circuits.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "remos/snapshot.hpp"
+#include "select/algorithms.hpp"
+#include "select/prune.hpp"
+#include "select/reference.hpp"
+#include "topo/synthetic.hpp"
+
+namespace netsel::select {
+namespace {
+
+struct Instance {
+  std::string what;
+  std::unique_ptr<topo::TopologyGraph> graph;
+  std::unique_ptr<remos::NetworkSnapshot> snap;
+};
+
+/// Every generated topology family at <= 64 nodes, with seeded loads and
+/// link availabilities on top (remos::apply_synthetic_load).
+std::vector<Instance> instances(std::uint64_t seed) {
+  std::vector<Instance> out;
+  {
+    auto ft = topo::fat_tree_for_hosts(24, 6, 2.0, seed);
+    ft.cpu_jitter = 0.3;  // heterogeneous hosts exercise the cpu ranking
+    Instance inst;
+    inst.what = "fat_tree seed " + std::to_string(seed);
+    inst.graph = std::make_unique<topo::TopologyGraph>(topo::fat_tree(ft));
+    out.push_back(std::move(inst));
+  }
+  {
+    topo::CampusWanOptions cw;
+    cw.campuses = 2;
+    cw.buildings_per_campus = 2;
+    cw.hosts_per_building = 3;
+    cw.seed = seed;
+    Instance inst;
+    inst.what = "campus_wan seed " + std::to_string(seed);
+    inst.graph = std::make_unique<topo::TopologyGraph>(topo::campus_wan(cw));
+    out.push_back(std::move(inst));
+  }
+  {
+    topo::RandomCoreEdgeOptions ce;
+    ce.core_switches = 4;
+    ce.edge_switches = 8;
+    ce.hosts = 32;
+    ce.seed = seed;
+    Instance inst;
+    inst.what = "random_core_edge seed " + std::to_string(seed);
+    inst.graph =
+        std::make_unique<topo::TopologyGraph>(topo::random_core_edge(ce));
+    out.push_back(std::move(inst));
+  }
+  for (auto& inst : out) {
+    EXPECT_LE(inst.graph->node_count(), 64u) << inst.what;
+    inst.snap = std::make_unique<remos::NetworkSnapshot>(*inst.graph);
+    remos::apply_synthetic_load(*inst.snap, seed * 31 + 7);
+  }
+  return out;
+}
+
+/// Option variants covering the knobs that feed the domination keys
+/// (fractions, cpu ranking, eligibility).
+std::vector<std::pair<std::string, SelectionOptions>> option_variants() {
+  std::vector<std::pair<std::string, SelectionOptions>> out;
+  out.emplace_back("base", SelectionOptions{});
+  SelectionOptions opt;
+  opt.min_bw_bps = 40 * topo::kMbps;
+  out.emplace_back("min_bw", opt);
+  opt = {};
+  opt.reference_bw = topo::k100Mbps;
+  out.emplace_back("reference_bw", opt);
+  opt = {};
+  opt.cpu_priority = 2.0;
+  opt.bw_priority = 0.5;
+  out.emplace_back("priorities", opt);
+  opt = {};
+  opt.min_cpu_fraction = 0.6;
+  out.emplace_back("min_cpu", opt);
+  opt = {};
+  opt.exhaustive_balanced = true;
+  out.emplace_back("exhaustive", opt);
+  return out;
+}
+
+void expect_same_result(const SelectionResult& fast, const SelectionResult& ref,
+                        const std::string& what) {
+  ASSERT_EQ(fast.feasible, ref.feasible) << what;
+  EXPECT_EQ(fast.nodes, ref.nodes) << what;
+  EXPECT_EQ(fast.iterations, ref.iterations) << what;
+  if (!fast.feasible) return;
+  EXPECT_DOUBLE_EQ(fast.min_cpu, ref.min_cpu) << what;
+  if (fast.nodes.size() >= 2) {
+    EXPECT_DOUBLE_EQ(fast.min_bw_fraction, ref.min_bw_fraction) << what;
+    EXPECT_DOUBLE_EQ(fast.objective, ref.objective) << what;
+  }
+}
+
+SelectionResult reference_select(Criterion c,
+                                 const remos::NetworkSnapshot& snap,
+                                 const SelectionOptions& opt) {
+  switch (c) {
+    case Criterion::MaxCompute:
+      return detail::reference_select_max_compute(snap, opt);
+    case Criterion::MaxBandwidth:
+      return detail::reference_select_max_bandwidth(snap, opt);
+    case Criterion::Balanced:
+      return detail::reference_select_balanced(snap, opt);
+  }
+  return {};
+}
+
+TEST(PruneOracle, PrunedPathsMatchNaiveReferencesOnAllFamilies) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const auto& inst : instances(seed)) {
+      for (const auto& [vname, base] : option_variants()) {
+        for (int m : {2, 4, 8}) {
+          for (Criterion c : {Criterion::MaxCompute, Criterion::MaxBandwidth,
+                              Criterion::Balanced}) {
+            SelectionOptions opt = base;
+            opt.num_nodes = m;
+            const std::string what = inst.what + " " + vname + " m=" +
+                                     std::to_string(m) + " " +
+                                     criterion_name(c);
+            auto fast = select_nodes(c, *inst.snap, opt);
+            expect_same_result(fast, reference_select(c, *inst.snap, opt),
+                               "vs reference: " + what);
+            // The unpruned fast path must agree field-for-field too.
+            SelectionOptions unpruned = opt;
+            unpruned.prune_dominated = false;
+            expect_same_result(fast, select_nodes(c, *inst.snap, unpruned),
+                               "vs unpruned: " + what);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- mask units
+
+/// A star: one switch, six degree-1 hosts with strictly decreasing NIC
+/// bandwidth, availability fraction, and cpu capacity — host i dominates
+/// every host j > i in all three keys.
+struct Star {
+  topo::TopologyGraph g;
+  std::vector<topo::NodeId> hosts;
+  topo::NodeId sw;
+};
+
+Star make_star(bool heterogeneous) {
+  Star s;
+  s.sw = s.g.add_network("sw");
+  for (int i = 0; i < 6; ++i) {
+    double capacity = heterogeneous ? 2.0 - 0.1 * i : 1.0;
+    auto h = s.g.add_compute("h" + std::to_string(i), capacity);
+    double bw = heterogeneous ? (100.0 - i) * topo::kMbps : topo::k100Mbps;
+    s.g.add_link(s.sw, h, bw);
+    s.hosts.push_back(h);
+  }
+  s.g.validate();
+  return s;
+}
+
+std::vector<char> eligible_mask(const remos::NetworkSnapshot& snap,
+                                const SelectionOptions& opt) {
+  std::vector<char> elig(snap.graph().node_count(), 0);
+  for (std::size_t i = 0; i < snap.graph().node_count(); ++i)
+    elig[i] = node_eligible(snap, static_cast<topo::NodeId>(i), opt) ? 1 : 0;
+  return elig;
+}
+
+TEST(DominatedMask, DropsAllButTopMOfADominatedLeafGroup) {
+  auto s = make_star(/*heterogeneous=*/true);
+  remos::NetworkSnapshot snap(s.g);
+  // Strictly decreasing availability fraction across the hosts.
+  for (std::size_t l = 0; l < s.g.link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    snap.set_bw(id, snap.maxbw(id) * (1.0 - 0.05 * static_cast<double>(l)));
+  }
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  auto elig = eligible_mask(snap, opt);
+  auto cand = dominated_candidate_mask(snap, opt, elig);
+  EXPECT_TRUE(cand[static_cast<std::size_t>(s.hosts[0])]);
+  EXPECT_TRUE(cand[static_cast<std::size_t>(s.hosts[1])]);
+  for (std::size_t i = 2; i < s.hosts.size(); ++i)
+    EXPECT_FALSE(cand[static_cast<std::size_t>(s.hosts[i])])
+        << "host " << i << " has >= 2 dominators";
+  EXPECT_FALSE(cand[static_cast<std::size_t>(s.sw)]) << "switch stays out";
+
+  // m = 1 and disabled pruning return the eligibility mask unchanged.
+  opt.num_nodes = 1;
+  EXPECT_EQ(dominated_candidate_mask(snap, opt, elig), elig);
+  opt.num_nodes = 2;
+  opt.prune_dominated = false;
+  EXPECT_EQ(dominated_candidate_mask(snap, opt, elig), elig);
+}
+
+TEST(DominatedMask, TiedHostsAreNeverPruned) {
+  // With identical bandwidth, fraction, and cpu, domination requires the
+  // dominator's link to outlive the candidate's (larger link id) while
+  // ranking earlier by cpu (smaller node id) — impossible, so ties survive.
+  auto s = make_star(/*heterogeneous=*/false);
+  remos::NetworkSnapshot snap(s.g);
+  SelectionOptions opt;
+  opt.num_nodes = 2;
+  auto elig = eligible_mask(snap, opt);
+  EXPECT_EQ(dominated_candidate_mask(snap, opt, elig), elig);
+}
+
+}  // namespace
+}  // namespace netsel::select
