@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_churn.json: build Release, run the incremental-delta
+# churn benchmark on the 10k-host fat-tree (warm journal consumption vs
+# full epoch invalidation per delta, then the reselect budget curve), and
+# write the perf record to the repo root. The record carries the headline
+# contract — warm evaluation after a single-link bandwidth delta at least
+# 10x faster than a cold rebuild — plus the migrations-per-hour vs quality
+# curve and the delta/repair counters. The full metrics document and Chrome
+# trace land next to it (metrics_churn.json, trace_churn.json — load the
+# latter in Perfetto).
+#
+# Usage: scripts/bench_churn_json.sh [reps]
+#   reps  stream-length multiplier: 20*reps deltas per class and 8*reps
+#         reselect steps per budget (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-3}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$(nproc)" --target bench_churn >/dev/null
+./build/bench/bench_churn "$REPS" 4242 \
+  --bench-json BENCH_churn.json \
+  --metrics-json metrics_churn.json --chrome-trace trace_churn.json
+python3 scripts/check_metrics_json.py --profile churn \
+  metrics_churn.json trace_churn.json
+cat BENCH_churn.json

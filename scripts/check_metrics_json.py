@@ -8,10 +8,12 @@ Profiles pick the required metric set for the producing benchmark:
   table1 (default)  simulation grids: bench_table1 / bench_faults
   scale             selection-only runs: bench_scale (no simulator, no
                     experiment harness, hence no sim.*/exp.* counters)
+  churn             delta-stream runs: bench_churn (adds the incremental
+                    invalidation counters and the CSR patch histogram)
 
 Exits non-zero with a message on the first violation. Used by CI after the
 bench smoke runs, and by scripts/bench_table1_json.sh /
-scripts/bench_scale_json.sh.
+scripts/bench_scale_json.sh / scripts/bench_churn_json.sh.
 """
 
 import json
@@ -55,6 +57,26 @@ PROFILES = {
             "select.latency_s.balanced",
             "select.latency_s.max_bandwidth",
             "select.latency_s.max_compute",
+        ],
+    },
+    "churn": {
+        "counters": [
+            "select.ctx.row_hits",
+            "select.ctx.row_misses",
+            "select.ctx.invalidations",
+            "select.ctx.delta.applied",
+            "select.ctx.rows.repaired",
+            "select.ctx.rows.invalidated.partial",
+            "select.ctx.rows.invalidated.full",
+            "api.reselect.calls",
+            "api.reselect.migrations",
+            "api.degradation.full",
+            "api.degradation.smoothed",
+            "api.degradation.prior",
+        ],
+        "histograms": [
+            "select.ctx.csr_patch_s",
+            "select.latency_s.balanced",
         ],
     },
 }

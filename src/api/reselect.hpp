@@ -1,0 +1,72 @@
+#pragma once
+// Churn-aware re-placement (§3.3 dynamic reselection, bounded): given an
+// application's current node set and a fresh SelectionContext, compute a
+// replacement set that keeps as much of the current placement as the
+// migration budget demands. Full re-selection (the MigrationController's
+// baseline) treats every reselection as free; real migrations move process
+// state, so operators cap migrations-per-decision and accept a placement
+// between "keep everything" and the unconstrained optimum.
+//
+// The bounded algorithm is keep-k-of-m: run the unconstrained selection,
+// then greedily swap current members for members of that optimal set, one
+// swap at a time, always taking the swap that most improves the criterion
+// score (ties: lowest outgoing id, then lowest incoming id), until the
+// budget is exhausted or no swap improves by more than min_improvement.
+// Members that became ineligible (host removed, below requirements) are
+// replaced first; such forced replacements always happen, count against the
+// reported migration count, and may exceed the budget.
+
+#include <string>
+#include <vector>
+
+#include "select/algorithms.hpp"
+#include "select/options.hpp"
+#include "topo/graph.hpp"
+
+namespace netsel::select {
+class SelectionContext;
+struct SetEvaluation;
+}
+
+namespace netsel::api {
+
+struct ReselectOptions {
+  /// Maximum migrations (nodes swapped in) per reselection; < 0 = unbounded
+  /// (adopt the unconstrained optimum, like the MigrationController).
+  int max_migrations = -1;
+  /// A swap must improve the criterion score by more than this to be taken.
+  double min_improvement = 0.0;
+  select::Criterion criterion = select::Criterion::Balanced;
+  /// num_nodes is overridden with the current set's size.
+  select::SelectionOptions selection;
+};
+
+struct ReselectResult {
+  bool feasible = false;
+  /// The new placement (ascending node ids).
+  std::vector<topo::NodeId> nodes;
+  /// nodes \ current and current \ nodes (ascending).
+  std::vector<topo::NodeId> migrated_in;
+  std::vector<topo::NodeId> migrated_out;
+  int migrations = 0;
+  /// Criterion score (evaluate_set-based) of the current set, the returned
+  /// set, and the unconstrained optimum — the quality-vs-migration
+  /// trade-off in one record.
+  double objective_before = 0.0;
+  double objective_after = 0.0;
+  double objective_unbounded = 0.0;
+  std::string note;
+};
+
+/// Criterion score of an evaluated set: min_cpu for MaxCompute, min pairwise
+/// bandwidth for MaxBandwidth, the balanced objective otherwise; 0 when the
+/// set is not connected through usable links.
+double criterion_score(select::Criterion c, const select::SetEvaluation& ev);
+
+/// Bounded re-placement of `current` (its size fixes m). Pure function of
+/// the context's snapshot; deterministic.
+ReselectResult reselect(const select::SelectionContext& ctx,
+                        const std::vector<topo::NodeId>& current,
+                        const ReselectOptions& opt);
+
+}  // namespace netsel::api

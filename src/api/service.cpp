@@ -330,4 +330,19 @@ select::SelectionResult NodeSelectionService::select(
   return result;
 }
 
+ReselectResult NodeSelectionService::reselect(
+    const std::vector<topo::NodeId>& current, const ReselectOptions& ropt,
+    const ServiceOptions& opt) const {
+  DegradationLevel level = DegradationLevel::Full;
+  remos::QueryQuality quality;
+  auto snap = degraded_snapshot(opt.query, opt.degradation, level, quality);
+  select::SelectionContext ctx(snap);
+  auto result = api::reselect(ctx, current, ropt);
+  if (level != DegradationLevel::Full) {
+    if (!result.note.empty()) result.note += "; ";
+    result.note += std::string("degraded: ") + degradation_level_name(level);
+  }
+  return result;
+}
+
 }  // namespace netsel::api

@@ -5,6 +5,7 @@
 // constraints (tags, pinned hosts) and group priorities.
 
 #include "api/appspec.hpp"
+#include "api/reselect.hpp"
 #include "remos/remos.hpp"
 #include "select/algorithms.hpp"
 
@@ -64,6 +65,14 @@ class NodeSelectionService {
   /// result note.
   select::SelectionResult select(int m, select::Criterion c,
                                  const remos::QueryOptions& q = {}) const;
+
+  /// Churn-aware bounded re-placement (api/reselect.hpp) of a running
+  /// application's node set, against the degradation ladder's snapshot:
+  /// keep-k-of-m with a migration budget instead of the MigrationController's
+  /// free full re-selection.
+  ReselectResult reselect(const std::vector<topo::NodeId>& current,
+                          const ReselectOptions& ropt,
+                          const ServiceOptions& opt = {}) const;
 
   /// The degradation ladder itself (shared by place/select, exposed for
   /// diagnostics): probe query quality, pick the level, and return the

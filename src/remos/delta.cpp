@@ -1,0 +1,18 @@
+#include "remos/delta.hpp"
+
+namespace netsel::remos {
+
+const char* delta_kind_name(DeltaKind k) {
+  switch (k) {
+    case DeltaKind::NodeLoad: return "node-load";
+    case DeltaKind::NodeMemory: return "node-memory";
+    case DeltaKind::LinkBandwidth: return "link-bandwidth";
+    case DeltaKind::NodeAdded: return "node-added";
+    case DeltaKind::NodeRemoved: return "node-removed";
+    case DeltaKind::LinkAdded: return "link-added";
+    case DeltaKind::LinkRemoved: return "link-removed";
+  }
+  return "?";
+}
+
+}  // namespace netsel::remos

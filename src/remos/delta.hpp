@@ -1,0 +1,58 @@
+#pragma once
+// Typed snapshot mutation stream. Every NetworkSnapshot mutation — a sensor
+// update (load, memory, link availability) or a structural change (host or
+// link added/removed) — is described by one Delta and recorded in the
+// snapshot's bounded journal, alongside the opaque epoch bump that predates
+// this layer. Consumers that cached state at epoch e ask the snapshot for
+// the deltas between e and the current epoch and invalidate *only what the
+// deltas touch* (see select::SelectionContext); when the journal has been
+// trimmed past e they fall back to a full rebuild, which is exactly the old
+// epoch-only behaviour.
+
+#include <cstdint>
+
+#include "topo/graph.hpp"
+
+namespace netsel::remos {
+
+enum class DeltaKind : std::uint8_t {
+  /// cpu(node) changed (set_cpu / set_loadavg). `value` is the new fraction.
+  NodeLoad,
+  /// free_memory(node) changed. `value` is the new byte count.
+  NodeMemory,
+  /// bw(link) changed (set_bw / set_bw_dir). `value` is the new min-over-
+  /// directions availability.
+  LinkBandwidth,
+  /// A node was appended to the topology; `node` is its id.
+  NodeAdded,
+  /// A (degree-0) node was removed; its id stays allocated but is no longer
+  /// compute-eligible.
+  NodeRemoved,
+  /// A link was appended to the topology; `link` is its id.
+  LinkAdded,
+  /// A link was removed; its id stays allocated, its availability is 0.
+  LinkRemoved,
+};
+
+const char* delta_kind_name(DeltaKind k);
+
+/// True for the kinds that change the adjacency structure (as opposed to
+/// only the measured values on an unchanged structure).
+constexpr bool delta_is_structural(DeltaKind k) {
+  return k == DeltaKind::NodeAdded || k == DeltaKind::NodeRemoved ||
+         k == DeltaKind::LinkAdded || k == DeltaKind::LinkRemoved;
+}
+
+/// One snapshot mutation. Exactly one of node/link is meaningful, per kind.
+/// Delta i (1-based) transitions the snapshot from epoch i-1 to epoch i, so
+/// replaying the deltas after epoch e in order reproduces every change a
+/// cache built at e has missed.
+struct Delta {
+  DeltaKind kind = DeltaKind::NodeLoad;
+  topo::NodeId node = topo::kInvalidNode;
+  topo::LinkId link = topo::kInvalidLink;
+  /// New value (kind-dependent; 0 for structural deltas).
+  double value = 0.0;
+};
+
+}  // namespace netsel::remos

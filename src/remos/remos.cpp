@@ -105,6 +105,7 @@ NetworkSnapshot Remos::snapshot(const QueryOptions& opt) const {
   }
   for (std::size_t l = 0; l < g.link_count(); ++l) {
     auto id = static_cast<topo::LinkId>(l);
+    if (g.link_removed(id)) continue;  // tombstoned: stays at 0 availability
     const topo::Link& lk = g.link(id);
     double avail_ab = lk.capacity_ab - forecast_link_used(id, true, opt);
     double avail_ba = lk.capacity_ba - forecast_link_used(id, false, opt);
@@ -119,6 +120,47 @@ NetworkSnapshot Remos::snapshot(const QueryOptions& opt) const {
     query_oldest_age_hist().observe(opt.quality->oldest_age);
   }
   return snap;
+}
+
+std::size_t Remos::refresh_snapshot(NetworkSnapshot& snap,
+                                    const QueryOptions& opt) const {
+  if (!opt.forecaster) throw std::invalid_argument("Remos: null forecaster");
+  const auto& g = net_.topology();
+  if (&snap.graph() != &g)
+    throw std::invalid_argument(
+        "refresh_snapshot: snapshot views a different topology");
+  const std::uint64_t before = snap.epoch();
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    auto id = static_cast<topo::NodeId>(i);
+    if (!g.is_compute(id)) continue;
+    // Mirror set_loadavg's arithmetic so the no-change comparison is exact:
+    // an unchanged reading emits no delta at all.
+    double la = load_average(id, opt);
+    if (la < 0.0) la = 0.0;
+    if (1.0 / (1.0 + la) != snap.cpu(id)) snap.set_loadavg(id, la);
+    double mem = forecast_aux(monitor_.memory_history(id),
+                              g.node(id).memory_bytes, opt);
+    if (mem < 0.0) mem = 0.0;
+    if (mem != snap.free_memory(id)) snap.set_free_memory(id, mem);
+  }
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    auto id = static_cast<topo::LinkId>(l);
+    if (g.link_removed(id)) continue;
+    const topo::Link& lk = g.link(id);
+    double avail_ab = std::max(
+        lk.capacity_ab - forecast_link_used(id, true, opt), kBwFloor);
+    double avail_ba = std::max(
+        lk.capacity_ba - forecast_link_used(id, false, opt), kBwFloor);
+    if (avail_ab != snap.bw_dir(id, true)) snap.set_bw_dir(id, true, avail_ab);
+    if (avail_ba != snap.bw_dir(id, false))
+      snap.set_bw_dir(id, false, avail_ba);
+  }
+  if (opt.quality && obs::enabled() && opt.quality->sensors_total > 0) {
+    query_coverage_hist().observe(opt.quality->coverage());
+    query_newest_age_hist().observe(opt.quality->newest_age);
+    query_oldest_age_hist().observe(opt.quality->oldest_age);
+  }
+  return static_cast<std::size_t>(snap.epoch() - before);
 }
 
 double Remos::available_bandwidth(topo::NodeId src, topo::NodeId dst,

@@ -80,6 +80,16 @@ class Remos {
   /// cannot be captured by measurements between pairs of compute nodes".
   NetworkSnapshot snapshot(const QueryOptions& opt = {}) const;
 
+  /// In-place variant of snapshot(): re-measures the same values into an
+  /// existing snapshot, but writes only the sensors whose reading actually
+  /// changed, so the snapshot's delta journal captures exactly the changed
+  /// measurements. A long-lived select::SelectionContext over `snap` then
+  /// revalidates fine-grainedly (per-link row repair) instead of dropping
+  /// every cache. `snap` must view this Remos's topology. Returns the
+  /// number of deltas emitted (epoch advance).
+  std::size_t refresh_snapshot(NetworkSnapshot& snap,
+                               const QueryOptions& opt = {}) const;
+
   /// Flow query: bottleneck *residual* bandwidth on the static route
   /// between two nodes (capacity minus measured traffic, per direction
   /// traversed).

@@ -22,11 +22,109 @@ NetworkSnapshot::NetworkSnapshot(const topo::TopologyGraph& g)
     }
   }
   for (std::size_t l = 0; l < g.link_count(); ++l) {
+    if (g.link_removed(static_cast<topo::LinkId>(l))) continue;  // stays 0
     const topo::Link& lk = g.link(static_cast<topo::LinkId>(l));
     bw_[l] = lk.capacity_min();
     bw_dir_[l * 2 + 0] = lk.capacity_ab;
     bw_dir_[l * 2 + 1] = lk.capacity_ba;
   }
+}
+
+void NetworkSnapshot::record(const Delta& d) {
+  ++epoch_;
+  if (journal_cap_ == 0) {
+    journal_first_epoch_ = epoch_;
+    return;
+  }
+  if (journal_.size() < journal_cap_) {
+    journal_.push_back(d);
+    ++journal_size_;
+    return;
+  }
+  if (journal_size_ == journal_cap_) {
+    // Full: overwrite the oldest slot.
+    journal_[journal_head_] = d;
+    journal_head_ = (journal_head_ + 1) % journal_cap_;
+    ++journal_first_epoch_;
+    return;
+  }
+  journal_[(journal_head_ + journal_size_) % journal_cap_] = d;
+  ++journal_size_;
+}
+
+bool NetworkSnapshot::deltas_since(std::uint64_t since_epoch,
+                                   std::vector<Delta>& out) const {
+  if (since_epoch > epoch_)
+    throw std::invalid_argument("deltas_since: epoch from the future");
+  if (since_epoch < journal_first_epoch_) return false;  // trimmed away
+  const auto skip = static_cast<std::size_t>(since_epoch - journal_first_epoch_);
+  for (std::size_t i = skip; i < journal_size_; ++i)
+    out.push_back(journal_[(journal_head_ + i) % journal_cap_]);
+  return true;
+}
+
+void NetworkSnapshot::set_delta_journal_capacity(std::size_t capacity) {
+  journal_.clear();
+  journal_cap_ = capacity;
+  journal_head_ = 0;
+  journal_size_ = 0;
+  journal_first_epoch_ = epoch_;
+}
+
+void NetworkSnapshot::notify_node_added(topo::NodeId n) {
+  if (static_cast<std::size_t>(n) != cpu_.size() ||
+      static_cast<std::size_t>(n) + 1 != graph_->node_count())
+    throw std::invalid_argument(
+        "notify_node_added: notifications must follow additions in order");
+  cpu_.push_back(0.0);
+  free_memory_.push_back(0.0);
+  if (graph_->is_compute(n)) {
+    cpu_.back() = 1.0;
+    free_memory_.back() = graph_->node(n).memory_bytes;
+  }
+  Delta d;
+  d.kind = DeltaKind::NodeAdded;
+  d.node = n;
+  record(d);
+}
+
+void NetworkSnapshot::notify_node_removed(topo::NodeId n) {
+  if (n < 0 || static_cast<std::size_t>(n) >= cpu_.size())
+    throw std::invalid_argument("notify_node_removed: node out of range");
+  cpu_[static_cast<std::size_t>(n)] = 0.0;
+  free_memory_[static_cast<std::size_t>(n)] = 0.0;
+  Delta d;
+  d.kind = DeltaKind::NodeRemoved;
+  d.node = n;
+  record(d);
+}
+
+void NetworkSnapshot::notify_link_added(topo::LinkId l) {
+  if (static_cast<std::size_t>(l) != bw_.size() ||
+      static_cast<std::size_t>(l) + 1 != graph_->link_count())
+    throw std::invalid_argument(
+        "notify_link_added: notifications must follow additions in order");
+  const topo::Link& lk = graph_->link(l);
+  bw_.push_back(lk.capacity_min());
+  bw_dir_.push_back(lk.capacity_ab);
+  bw_dir_.push_back(lk.capacity_ba);
+  Delta d;
+  d.kind = DeltaKind::LinkAdded;
+  d.link = l;
+  d.value = lk.capacity_min();
+  record(d);
+}
+
+void NetworkSnapshot::notify_link_removed(topo::LinkId l) {
+  if (l < 0 || static_cast<std::size_t>(l) >= bw_.size())
+    throw std::invalid_argument("notify_link_removed: link out of range");
+  bw_[static_cast<std::size_t>(l)] = 0.0;
+  bw_dir_[static_cast<std::size_t>(l) * 2 + 0] = 0.0;
+  bw_dir_[static_cast<std::size_t>(l) * 2 + 1] = 0.0;
+  Delta d;
+  d.kind = DeltaKind::LinkRemoved;
+  d.link = l;
+  record(d);
 }
 
 double NetworkSnapshot::cpu_reference(topo::NodeId n,
@@ -53,7 +151,11 @@ void NetworkSnapshot::set_free_memory(topo::NodeId n, double bytes) {
     throw std::invalid_argument("set_free_memory: not a compute node");
   if (bytes < 0.0) bytes = 0.0;
   free_memory_[static_cast<std::size_t>(n)] = bytes;
-  ++epoch_;
+  Delta d;
+  d.kind = DeltaKind::NodeMemory;
+  d.node = n;
+  d.value = bytes;
+  record(d);
 }
 
 void NetworkSnapshot::set_cpu(topo::NodeId n, double fraction) {
@@ -62,7 +164,11 @@ void NetworkSnapshot::set_cpu(topo::NodeId n, double fraction) {
   if (fraction < 0.0 || fraction > 1.0)
     throw std::invalid_argument("set_cpu: fraction must be in [0,1]");
   cpu_[static_cast<std::size_t>(n)] = fraction;
-  ++epoch_;
+  Delta d;
+  d.kind = DeltaKind::NodeLoad;
+  d.node = n;
+  d.value = fraction;
+  record(d);
 }
 
 void NetworkSnapshot::set_loadavg(topo::NodeId n, double loadavg) {
@@ -76,7 +182,11 @@ void NetworkSnapshot::set_bw(topo::LinkId l, double bits_per_second) {
   bw_[static_cast<std::size_t>(l)] = bits_per_second;
   bw_dir_[static_cast<std::size_t>(l) * 2 + 0] = bits_per_second;
   bw_dir_[static_cast<std::size_t>(l) * 2 + 1] = bits_per_second;
-  ++epoch_;
+  Delta d;
+  d.kind = DeltaKind::LinkBandwidth;
+  d.link = l;
+  d.value = bits_per_second;
+  record(d);
 }
 
 void NetworkSnapshot::set_bw_dir(topo::LinkId l, bool forward,
@@ -87,7 +197,11 @@ void NetworkSnapshot::set_bw_dir(topo::LinkId l, bool forward,
   bw_[static_cast<std::size_t>(l)] =
       std::min(bw_dir_[static_cast<std::size_t>(l) * 2 + 0],
                bw_dir_[static_cast<std::size_t>(l) * 2 + 1]);
-  ++epoch_;
+  Delta d;
+  d.kind = DeltaKind::LinkBandwidth;
+  d.link = l;
+  d.value = bw_[static_cast<std::size_t>(l)];
+  record(d);
 }
 
 double NetworkSnapshot::path_bw(const std::vector<topo::LinkId>& links) const {
@@ -110,6 +224,7 @@ void apply_synthetic_load(NetworkSnapshot& snap, std::uint64_t seed,
   }
   for (std::size_t l = 0; l < g.link_count(); ++l) {
     auto id = static_cast<topo::LinkId>(l);
+    if (g.link_removed(id)) continue;
     snap.set_bw(id, snap.maxbw(id) * (1.0 - rng.uniform(0.0, max_utilisation)));
   }
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "remos/delta.hpp"
 #include "topo/graph.hpp"
 #include "topo/subgraph.hpp"
 
@@ -79,13 +80,51 @@ class NetworkSnapshot {
   /// afterwards.
   std::uint64_t epoch() const { return epoch_; }
 
+  /// Structural notifications. The underlying TopologyGraph may grow
+  /// (add_compute/add_network/add_link) or shrink (remove_link/remove_node)
+  /// after a snapshot was built against it; the owner of both must notify
+  /// every live snapshot of each change, *in order*, so the per-node and
+  /// per-link arrays stay id-aligned and the journal records the change.
+  /// notify_node_added / notify_link_added must name the id the graph just
+  /// returned (ids are appended densely); added state starts at the
+  /// constructor's prior (idle node, link at capacity). Removal notifications
+  /// zero the corresponding availability.
+  void notify_node_added(topo::NodeId n);
+  void notify_node_removed(topo::NodeId n);
+  void notify_link_added(topo::LinkId l);
+  void notify_link_removed(topo::LinkId l);
+
+  /// Append the deltas that transitioned this snapshot from `since_epoch` to
+  /// epoch() onto `out` (oldest first) and return true. Returns false —
+  /// appending nothing — when the bounded journal no longer retains that
+  /// range (the caller has missed too much and must rebuild from scratch).
+  bool deltas_since(std::uint64_t since_epoch, std::vector<Delta>& out) const;
+
+  /// Journal capacity (number of most-recent deltas retained). Shrinking or
+  /// growing discards the currently retained deltas, so caches built at an
+  /// older epoch fall back to a full rebuild once.
+  void set_delta_journal_capacity(std::size_t capacity);
+  std::size_t delta_journal_capacity() const { return journal_cap_; }
+
+  static constexpr std::size_t kDefaultJournalCapacity = 1024;
+
  private:
+  void record(const Delta& d);
+
   const topo::TopologyGraph* graph_;
   std::uint64_t epoch_ = 0;
   std::vector<double> cpu_;          // per node; 0 for network nodes
   std::vector<double> free_memory_;  // per node, bytes
   std::vector<double> bw_;           // per link, min over directions
   std::vector<double> bw_dir_;       // per link direction (2 per link)
+  /// Bounded delta ring: the journal_size_ most recent deltas, oldest at
+  /// journal_head_. journal_first_epoch_ is the epoch *before* the oldest
+  /// retained delta, so journal_first_epoch_ + journal_size_ == epoch_.
+  std::vector<Delta> journal_;
+  std::size_t journal_cap_ = kDefaultJournalCapacity;
+  std::size_t journal_head_ = 0;
+  std::size_t journal_size_ = 0;
+  std::uint64_t journal_first_epoch_ = 0;
 };
 
 /// Seeded synthetic availability for scale benchmarks and generated

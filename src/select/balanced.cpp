@@ -156,9 +156,9 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   std::vector<topo::LinkId> seq;
   seq.reserve(g.link_count());
   if (opt.reference_bw > 0.0) {
-    seq.resize(g.link_count());
-    for (std::size_t l = 0; l < seq.size(); ++l)
-      seq[l] = static_cast<topo::LinkId>(l);
+    for (std::size_t l = 0; l < g.link_count(); ++l)
+      if (!g.link_removed(static_cast<topo::LinkId>(l)))
+        seq.push_back(static_cast<topo::LinkId>(l));
     std::stable_sort(seq.begin(), seq.end(),
                      [&](topo::LinkId a, topo::LinkId b) {
                        return frac[static_cast<std::size_t>(a)] <

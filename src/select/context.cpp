@@ -10,8 +10,10 @@ namespace netsel::select {
 namespace {
 // Cache visibility for the shared-context layer: every pair_row() lookup is
 // a hit (slot already built) or a miss (BFS bottleneck row built now);
-// epoch invalidations count full cache drops after snapshot mutation.
-// Purely observational — one branch each while the registry is disabled.
+// epoch invalidations count *full* cache drops (journal trimmed past the
+// context's epoch); the delta.* / rows.* families count the fine-grained
+// path. Purely observational — one branch each while the registry is
+// disabled.
 obs::Counter& row_hits() {
   static obs::Counter& c =
       obs::Registry::global().counter("select.ctx.row_hits");
@@ -32,37 +34,342 @@ obs::Counter& order_builds() {
       obs::Registry::global().counter("select.ctx.order_builds");
   return c;
 }
+obs::Counter& deltas_applied() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.delta.applied");
+  return c;
+}
+obs::Counter& rows_invalidated_partial() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.rows.invalidated.partial");
+  return c;
+}
+obs::Counter& rows_invalidated_full() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.rows.invalidated.full");
+  return c;
+}
+obs::Counter& rows_repaired() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.rows.repaired");
+  return c;
+}
+obs::Histogram& csr_patch_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "select.ctx.csr_patch_s", obs::exp_buckets(1e-7, 4.0, 12));
+  return h;
+}
 }  // namespace
 
 SelectionContext::SelectionContext(const remos::NetworkSnapshot& snap)
     : snap_(&snap), epoch_(snap.epoch()) {
-  // Touch every context counter so all four are registered (and exported,
+  // Touch every context metric so all are registered (and exported,
   // possibly at 0) as soon as any context exists — a run with no cache hits
   // still reports select.ctx.row_hits: 0 rather than omitting it.
   row_hits();
   row_misses();
   invalidations();
   order_builds();
+  deltas_applied();
+  rows_invalidated_partial();
+  rows_invalidated_full();
+  rows_repaired();
+  csr_patch_hist();
 }
+
+// ---------------------------------------------------------------------------
+// Delta consumption
+// ---------------------------------------------------------------------------
 
 void SelectionContext::revalidate() const {
   if (epoch_ == snap_->epoch()) return;
-  invalidations().inc();
+  pending_.clear();
+  if (snap_->deltas_since(epoch_, pending_)) {
+    deltas_applied().inc(pending_.size());
+    for (const remos::Delta& d : pending_) apply_delta(d);
+  } else {
+    // The journal no longer covers our epoch: fall back to the historical
+    // drop-everything behaviour.
+    invalidate_all();
+  }
   epoch_ = snap_->epoch();
+}
+
+void SelectionContext::invalidate_all() const {
+  invalidations().inc();
+  if (std::size_t built = built_row_count()) rows_invalidated_full().inc(built);
   bw_.clear();
   bwfactor_.clear();
   by_bw_.clear();
   by_bwfactor_.clear();
+  bw_valid_ = bwfactor_valid_ = by_bw_valid_ = by_bwfactor_valid_ = false;
   base_comps_.reset();
   rows_.clear();
+  // The unseen deltas may have been structural, so the graph-shaped caches
+  // go too.
+  csr_.reset();
+  acyclic_ = -1;
 }
 
+void SelectionContext::apply_delta(const remos::Delta& d) const {
+  switch (d.kind) {
+    case remos::DeltaKind::NodeLoad:
+    case remos::DeltaKind::NodeMemory:
+      // Eligibility and cpu rankings are per-call state; nothing cached
+      // here depends on node sensors.
+      return;
+    case remos::DeltaKind::LinkBandwidth: return apply_link_bandwidth(d.link);
+    case remos::DeltaKind::NodeAdded: return apply_node_added(d.node);
+    case remos::DeltaKind::NodeRemoved: return apply_node_removed(d.node);
+    case remos::DeltaKind::LinkAdded: return apply_link_added(d.link);
+    case remos::DeltaKind::LinkRemoved: return apply_link_removed(d.link);
+  }
+}
+
+namespace {
+
+// (key, id) is a strict total order over links (ids are distinct), and it
+// is exactly the order stable_sort-ascending-by-key produces, so a binary
+// erase + sorted reinsert leaves the order identical to a rebuilt sort.
+bool order_erase(std::vector<topo::LinkId>& order,
+                 const std::vector<double>& key, topo::LinkId l) {
+  auto less = [&](topo::LinkId a, topo::LinkId b) {
+    const double ka = key[static_cast<std::size_t>(a)];
+    const double kb = key[static_cast<std::size_t>(b)];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  };
+  auto it = std::lower_bound(order.begin(), order.end(), l, less);
+  if (it == order.end() || *it != l)
+    it = std::find(order.begin(), order.end(), l);  // defensive; never hit
+  if (it == order.end()) return false;
+  order.erase(it);
+  return true;
+}
+
+void order_insert(std::vector<topo::LinkId>& order,
+                  const std::vector<double>& key, topo::LinkId l) {
+  auto less = [&](topo::LinkId a, topo::LinkId b) {
+    const double ka = key[static_cast<std::size_t>(a)];
+    const double kb = key[static_cast<std::size_t>(b)];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  };
+  order.insert(std::lower_bound(order.begin(), order.end(), l, less), l);
+}
+
+}  // namespace
+
+void SelectionContext::apply_link_bandwidth(topo::LinkId l) const {
+  const auto il = static_cast<std::size_t>(l);
+  bool changed = false;
+  // Patch the cached weight arrays to the snapshot's *current* value (not
+  // the delta's recorded one): repeated deltas for the same link converge,
+  // and a later repair always sees final weights. Erase with the old key
+  // before writing the new one — the deletion orders are sorted by the
+  // cached key.
+  if (bw_valid_ && il < bw_.size()) {
+    const double nb = snap_->bw(l);
+    if (bw_[il] != nb) {
+      if (by_bw_valid_) order_erase(by_bw_, bw_, l);
+      bw_[il] = nb;
+      if (by_bw_valid_) order_insert(by_bw_, bw_, l);
+      changed = true;
+    }
+  }
+  if (bwfactor_valid_ && il < bwfactor_.size()) {
+    const double nf = snap_->bwfactor(l);
+    if (bwfactor_[il] != nf) {
+      if (by_bwfactor_valid_) order_erase(by_bwfactor_, bwfactor_, l);
+      bwfactor_[il] = nf;
+      if (by_bwfactor_valid_) order_insert(by_bwfactor_, bwfactor_, l);
+      changed = true;
+    }
+  }
+  if (!changed) return;
+  // Rows whose BFS tree does not use l do not depend on it at all; rows
+  // whose tree does are repaired in place (O(V) value replay, no BFS).
+  for (auto& e : rows_) {
+    if (!e) continue;
+    if (il < e->in_tree.size() && e->in_tree[il]) {
+      repair_row_values(*e, l);
+      rows_repaired().inc();
+    }
+  }
+}
+
+void SelectionContext::repair_row_values(RowEntry& e, topo::LinkId l) const {
+  // The BFS tree is weight-independent, so only the values changed, and
+  // only inside the subtree hanging below l: the unique node the tree
+  // discovered via l, and its tree descendants. Nodes discovered before
+  // that child cannot have l on their tree path (ancestors precede
+  // descendants in BFS order), and siblings' paths avoid l entirely. Each
+  // recomputation is the exact float operation the build performs, on a
+  // parent value that is already final (parents are dequeued before their
+  // children below), so the result is bit-identical to a from-scratch
+  // rebuild. latency and reached are weight-independent.
+  topo::BottleneckRow& row = e.row;
+  const auto& g = graph();
+  const topo::Link& ln = g.link(l);
+  const topo::NodeId child =
+      row.tree_link[static_cast<std::size_t>(ln.a)] == l ? ln.a : ln.b;
+  if (!csr_) {
+    // Defensive: no adjacency to walk (never expected while rows exist) —
+    // replay the full recorded discovery order instead.
+    for (std::size_t i = 1; i < row.order.size(); ++i) {
+      const topo::NodeId v = row.order[i];
+      const auto iv = static_cast<std::size_t>(v);
+      const auto il = static_cast<std::size_t>(row.tree_link[iv]);
+      const auto ip = static_cast<std::size_t>(g.other_end(row.tree_link[iv], v));
+      row.bottleneck[iv] = std::min(row.bottleneck[ip], bw_[il]);
+      if (!row.bottleneck2.empty())
+        row.bottleneck2[iv] = std::min(row.bottleneck2[ip], bwfactor_[il]);
+    }
+    return;
+  }
+  const topo::CsrAdjacency& adj = *csr_;
+  repair_queue_.clear();
+  repair_queue_.push_back(child);
+  for (std::size_t qi = 0; qi < repair_queue_.size(); ++qi) {
+    const topo::NodeId v = repair_queue_[qi];
+    const auto iv = static_cast<std::size_t>(v);
+    const topo::LinkId pl = row.tree_link[iv];
+    const auto ipl = static_cast<std::size_t>(pl);
+    const auto ip = static_cast<std::size_t>(g.other_end(pl, v));
+    row.bottleneck[iv] = std::min(row.bottleneck[ip], bw_[ipl]);
+    if (!row.bottleneck2.empty())
+      row.bottleneck2[iv] = std::min(row.bottleneck2[ip], bwfactor_[ipl]);
+    for (auto k = adj.row_start[iv]; k < adj.row_start[iv + 1]; ++k) {
+      const topo::NodeId w = adj.neighbor[k];
+      // w is v's tree child iff the edge that discovered w is this one.
+      if (row.tree_link[static_cast<std::size_t>(w)] == adj.via[k])
+        repair_queue_.push_back(w);
+    }
+  }
+}
+
+void SelectionContext::apply_node_added(topo::NodeId n) const {
+  if (csr_) {
+    obs::ScopedTimer t(csr_patch_hist());
+    csr_->patch_add_node(graph(), n);
+  }
+  if (base_comps_) {
+    // The new node has the highest id and no links, so a rebuild would
+    // discover it last as a singleton component: append exactly that.
+    base_comps_->comp_of.push_back(base_comps_->count);
+    base_comps_->compute_count.push_back(graph().is_compute(n) ? 1 : 0);
+    base_comps_->node_count.push_back(1);
+    ++base_comps_->count;
+  }
+  if (!rows_.empty()) {
+    // Extend every built row with the entry a rebuild would produce for an
+    // unreached node; existing values are untouched.
+    for (auto& e : rows_) {
+      if (!e) continue;
+      e->row.bottleneck.push_back(0.0);
+      if (!e->row.bottleneck2.empty()) e->row.bottleneck2.push_back(0.0);
+      e->row.latency.push_back(0.0);
+      e->row.reached.push_back(0);
+      e->row.tree_link.push_back(topo::kInvalidLink);
+    }
+    rows_.push_back(nullptr);
+  }
+  // acyclic_ is kept: an isolated node never creates a cycle.
+}
+
+void SelectionContext::apply_node_removed(topo::NodeId n) const {
+  // Removal requires degree 0, so by the time this delta arrives every
+  // incident link has already been removed (and the rows those removals
+  // touched dropped): no built row reaches n except n's own singleton row,
+  // which a rebuild reproduces unchanged. Only the compute flag flips.
+  if (csr_) {
+    obs::ScopedTimer t(csr_patch_hist());
+    csr_->patch_remove_node(n);
+  }
+  if (base_comps_) {
+    const int c = base_comps_->comp_of[static_cast<std::size_t>(n)];
+    base_comps_->compute_count[c] = 0;  // degree-0 singleton, now tombstoned
+  }
+  // acyclic_ and the weight caches are link-shaped: untouched.
+}
+
+void SelectionContext::apply_link_added(topo::LinkId l) const {
+  const auto il = static_cast<std::size_t>(l);
+  if (csr_) {
+    obs::ScopedTimer t(csr_patch_hist());
+    csr_->patch_add_link(graph(), l);
+  }
+  acyclic_ = -1;
+  base_comps_.reset();
+  if (bw_valid_) {
+    if (bw_.size() == il) {
+      bw_.push_back(snap_->bw(l));
+      if (by_bw_valid_) order_insert(by_bw_, bw_, l);
+    } else {  // defensive; applied-in-order deltas keep sizes aligned
+      bw_valid_ = by_bw_valid_ = false;
+      bw_.clear();
+      by_bw_.clear();
+    }
+  }
+  if (bwfactor_valid_) {
+    if (bwfactor_.size() == il) {
+      bwfactor_.push_back(snap_->bwfactor(l));
+      if (by_bwfactor_valid_) order_insert(by_bwfactor_, bwfactor_, l);
+    } else {
+      bwfactor_valid_ = by_bwfactor_valid_ = false;
+      bwfactor_.clear();
+      by_bwfactor_.clear();
+    }
+  }
+  // A new edge can reroute any BFS tree (it is appended to its endpoints'
+  // adjacency, but may shorten paths elsewhere): drop all rows.
+  if (std::size_t built = built_row_count()) {
+    rows_invalidated_full().inc(built);
+    for (auto& e : rows_) e.reset();
+  }
+}
+
+void SelectionContext::apply_link_removed(topo::LinkId l) const {
+  const auto il = static_cast<std::size_t>(l);
+  if (csr_) {
+    obs::ScopedTimer t(csr_patch_hist());
+    csr_->patch_remove_link(graph(), l);
+  }
+  acyclic_ = -1;
+  base_comps_.reset();
+  if (bw_valid_ && il < bw_.size()) {
+    if (by_bw_valid_) order_erase(by_bw_, bw_, l);
+    bw_[il] = 0.0;  // what the snapshot now reports for the tombstoned link
+  }
+  if (bwfactor_valid_ && il < bwfactor_.size()) {
+    if (by_bwfactor_valid_) order_erase(by_bwfactor_, bwfactor_, l);
+    bwfactor_[il] = 0.0;
+  }
+  // Removing a non-tree edge never changes a BFS tree (the tree edge into
+  // each node is the *first* edge reaching it in scan order; dropping a
+  // later edge cannot promote an earlier one). Only rows whose tree used l
+  // are dropped.
+  for (auto& e : rows_) {
+    if (!e) continue;
+    if (il < e->in_tree.size() && e->in_tree[il]) {
+      e.reset();
+      rows_invalidated_partial().inc();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
 bool SelectionContext::acyclic() const {
+  revalidate();
   if (acyclic_ == -1) acyclic_ = graph().is_acyclic() ? 1 : 0;
   return acyclic_ == 1;
 }
 
 const topo::CsrAdjacency& SelectionContext::csr() const {
+  revalidate();
   if (!csr_)
     csr_ = std::make_unique<topo::CsrAdjacency>(
         topo::CsrAdjacency::build(graph()));
@@ -71,30 +378,36 @@ const topo::CsrAdjacency& SelectionContext::csr() const {
 
 const std::vector<double>& SelectionContext::link_bw() const {
   revalidate();
-  if (bw_.size() != graph().link_count()) {
+  if (!bw_valid_) {
     bw_.resize(graph().link_count());
     for (std::size_t l = 0; l < bw_.size(); ++l)
       bw_[l] = snap_->bw(static_cast<topo::LinkId>(l));
+    bw_valid_ = true;
   }
   return bw_;
 }
 
 const std::vector<double>& SelectionContext::link_bwfactor() const {
   revalidate();
-  if (bwfactor_.size() != graph().link_count()) {
+  if (!bwfactor_valid_) {
     bwfactor_.resize(graph().link_count());
     for (std::size_t l = 0; l < bwfactor_.size(); ++l)
       bwfactor_[l] = snap_->bwfactor(static_cast<topo::LinkId>(l));
+    bwfactor_valid_ = true;
   }
   return bwfactor_;
 }
 
 namespace {
 
-std::vector<topo::LinkId> sorted_by(const std::vector<double>& key) {
-  std::vector<topo::LinkId> order(key.size());
+std::vector<topo::LinkId> sorted_by(const topo::TopologyGraph& g,
+                                    const std::vector<double>& key) {
+  std::vector<topo::LinkId> order;
+  order.reserve(key.size());
+  // Tombstoned links are not deletable edges: they are already gone.
   for (std::size_t l = 0; l < key.size(); ++l)
-    order[l] = static_cast<topo::LinkId>(l);
+    if (!g.link_removed(static_cast<topo::LinkId>(l)))
+      order.push_back(static_cast<topo::LinkId>(l));
   // Ascending by (key, id): the id tie-break matches the "lowest link id
   // among minima" rule of the per-iteration min-edge scan it replaces.
   std::stable_sort(order.begin(), order.end(),
@@ -109,9 +422,10 @@ std::vector<topo::LinkId> sorted_by(const std::vector<double>& key) {
 
 const std::vector<topo::LinkId>& SelectionContext::links_by_bw() const {
   const auto& bw = link_bw();
-  if (by_bw_.size() != bw.size()) {
-    by_bw_ = sorted_by(bw);
+  if (!by_bw_valid_) {
+    by_bw_ = sorted_by(graph(), bw);
     order_builds().inc();
+    by_bw_valid_ = true;
   }
   return by_bw_;
 }
@@ -131,9 +445,10 @@ const std::vector<topo::LinkId>& SelectionContext::links_by_fraction(
     const SelectionOptions& opt) const {
   if (opt.reference_bw > 0.0) return links_by_bw();
   const auto& f = link_bwfactor();
-  if (by_bwfactor_.size() != f.size()) {
-    by_bwfactor_ = sorted_by(f);
+  if (!by_bwfactor_valid_) {
+    by_bwfactor_ = sorted_by(graph(), f);
     order_builds().inc();
+    by_bwfactor_valid_ = true;
   }
   return by_bwfactor_;
 }
@@ -147,20 +462,42 @@ const topo::Components& SelectionContext::base_components() const {
   return *base_comps_;
 }
 
-const topo::BottleneckRow& SelectionContext::pair_row(topo::NodeId src) const {
-  // link_bw()/link_bwfactor() revalidate; rows_ is cleared alongside them.
-  const auto& bw = link_bw();
-  const auto& f = link_bwfactor();
+void SelectionContext::ensure_row_slots() const {
   if (rows_.size() != graph().node_count()) rows_.resize(graph().node_count());
+}
+
+std::size_t SelectionContext::built_row_count() const {
+  std::size_t n = 0;
+  for (const auto& e : rows_)
+    if (e) ++n;
+  return n;
+}
+
+std::unique_ptr<SelectionContext::RowEntry> SelectionContext::build_row_entry(
+    topo::NodeId src) const {
+  auto e = std::make_unique<RowEntry>();
+  e->row = topo::bottleneck_row(csr(), src, bw_, bwfactor_);
+  e->in_tree.assign(graph().link_count(), 0);
+  for (topo::NodeId v : e->row.order) {
+    const topo::LinkId l = e->row.tree_link[static_cast<std::size_t>(v)];
+    if (l != topo::kInvalidLink) e->in_tree[static_cast<std::size_t>(l)] = 1;
+  }
+  return e;
+}
+
+const topo::BottleneckRow& SelectionContext::pair_row(topo::NodeId src) const {
+  // link_bw()/link_bwfactor() revalidate; rows_ is maintained alongside.
+  (void)link_bw();
+  (void)link_bwfactor();
+  ensure_row_slots();
   auto& slot = rows_[static_cast<std::size_t>(src)];
   if (!slot) {
     row_misses().inc();
-    slot = std::make_unique<topo::BottleneckRow>(
-        topo::bottleneck_row(csr(), src, bw, f));
+    slot = build_row_entry(src);
   } else {
     row_hits().inc();
   }
-  return *slot;
+  return slot->row;
 }
 
 void SelectionContext::warm_rows(
@@ -168,7 +505,7 @@ void SelectionContext::warm_rows(
   const auto& bw = link_bw();
   const auto& f = link_bwfactor();
   const auto& adj = csr();
-  if (rows_.size() != graph().node_count()) rows_.resize(graph().node_count());
+  ensure_row_slots();
   std::vector<char> queued(graph().node_count(), 0);
   std::vector<topo::NodeId> todo;
   for (topo::NodeId src : sources) {
@@ -179,12 +516,18 @@ void SelectionContext::warm_rows(
   }
   if (todo.empty()) return;
   row_misses().inc(todo.size());
+  const std::size_t link_count = graph().link_count();
   // Each task writes only its own pre-sized slot; the shared inputs are
   // read-only, so the pool may schedule in any order.
   util::parallel_for(pool, todo.size(), [&](std::size_t i) {
-    rows_[static_cast<std::size_t>(todo[i])] =
-        std::make_unique<topo::BottleneckRow>(
-            topo::bottleneck_row(adj, todo[i], bw, f));
+    auto e = std::make_unique<RowEntry>();
+    e->row = topo::bottleneck_row(adj, todo[i], bw, f);
+    e->in_tree.assign(link_count, 0);
+    for (topo::NodeId v : e->row.order) {
+      const topo::LinkId l = e->row.tree_link[static_cast<std::size_t>(v)];
+      if (l != topo::kInvalidLink) e->in_tree[static_cast<std::size_t>(l)] = 1;
+    }
+    rows_[static_cast<std::size_t>(todo[i])] = std::move(e);
   });
 }
 

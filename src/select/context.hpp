@@ -24,11 +24,28 @@
 //   - the base connected-component decomposition (all links active).
 //
 // Validity contract: the snapshot carries an epoch counter bumped on every
-// mutation. Each accessor revalidates against snapshot().epoch() and
-// transparently drops stale caches, so a long-lived context (migration
-// controller, advisor sweep) stays correct across snapshot updates at the
-// cost of a rebuild. The referenced snapshot (and its graph) must outlive
-// the context. Not thread-safe: accessors mutate the lazy caches.
+// mutation plus a bounded journal of typed deltas (remos/delta.hpp). Each
+// accessor revalidates against snapshot().epoch(); when the journal still
+// covers the missed range, the context consumes the deltas with
+// *fine-grained* invalidation instead of dropping everything:
+//
+//   - node load/memory deltas touch nothing cached here (eligibility and
+//     cpu rankings are per-call state);
+//   - a link-bandwidth delta repositions the link inside the cached
+//     deletion orders (binary erase + sorted reinsert, identical to a
+//     re-sort) and *repairs* affected bottleneck rows in place: the BFS
+//     tree is weight-independent, so replaying the min-recurrence over the
+//     recorded discovery order with the updated weights is bit-identical to
+//     a rebuild — rows whose tree does not use the link are untouched;
+//   - structural deltas patch the cached CSR adjacency in place
+//     (topo::CsrAdjacency::patch_*); link removal drops only the rows whose
+//     tree used that link, link addition drops all rows (the tree may
+//     reroute), node addition extends rows with an unreached entry.
+//
+// When the journal has been trimmed past the context's epoch the context
+// falls back to the historical behaviour: drop every cache. The referenced
+// snapshot (and its graph) must outlive the context. Not thread-safe:
+// accessors mutate the lazy caches.
 
 #include <cstdint>
 #include <memory>
@@ -59,14 +76,14 @@ class SelectionContext {
   /// (re)built. Accessors below revalidate automatically.
   bool current() const { return epoch_ == snap_->epoch(); }
 
-  /// Cached graph().is_acyclic() (a static property of the topology).
+  /// Cached graph().is_acyclic(); invalidated only by structural deltas.
   bool acyclic() const;
 
-  /// Cached flat CSR view of the topology (graph-static, like acyclic()):
-  /// the adjacency the component and bottleneck kernels below run on, built
-  /// once per context. Preserves links_of() order, so BFS trees — and hence
-  /// every bottleneck value — are bit-identical to the TopologyGraph
-  /// kernels.
+  /// Cached flat CSR view of the topology: the adjacency the component and
+  /// bottleneck kernels below run on. Built once, then *patched in place*
+  /// under structural deltas (host/link add/remove) instead of rebuilt.
+  /// Preserves links_of() order, so BFS trees — and hence every bottleneck
+  /// value — are bit-identical to the TopologyGraph kernels.
   const topo::CsrAdjacency& csr() const;
 
   /// Available bandwidth per link, copied out of the snapshot (dense, for
@@ -123,19 +140,51 @@ class SelectionContext {
                  const std::vector<topo::NodeId>& sources) const;
 
  private:
-  /// Drop every epoch-keyed cache if the snapshot has moved on.
+  /// A cached bottleneck row plus the per-link membership mask of its BFS
+  /// tree, so "does delta on link l touch this row?" is an O(1) probe.
+  struct RowEntry {
+    topo::BottleneckRow row;
+    std::vector<char> in_tree;  // per link id: 1 iff a tree edge of row
+  };
+
+  /// Catch up with the snapshot: consume the missed deltas fine-grainedly,
+  /// or drop every cache when the journal no longer covers the gap.
   void revalidate() const;
+  void invalidate_all() const;
+  void apply_delta(const remos::Delta& d) const;
+  void apply_link_bandwidth(topo::LinkId l) const;
+  void apply_node_added(topo::NodeId n) const;
+  void apply_node_removed(topo::NodeId n) const;
+  void apply_link_added(topo::LinkId l) const;
+  void apply_link_removed(topo::LinkId l) const;
+  /// Replay the bottleneck min-recurrence with the current weight arrays
+  /// over the tree subtree hanging below changed link `l` (tree unchanged
+  /// -> bit-identical to rebuild; nodes outside that subtree cannot have
+  /// changed). For a fat-tree access link the subtree is a single leaf.
+  void repair_row_values(RowEntry& e, topo::LinkId l) const;
+  std::unique_ptr<RowEntry> build_row_entry(topo::NodeId src) const;
+  void ensure_row_slots() const;
+  std::size_t built_row_count() const;
 
   const remos::NetworkSnapshot* snap_;
   mutable std::uint64_t epoch_;
-  mutable int acyclic_ = -1;  // tri-state: unknown / no / yes (graph-static)
-  mutable std::unique_ptr<topo::CsrAdjacency> csr_;  // graph-static
+  mutable int acyclic_ = -1;  // tri-state: unknown / no / yes
+  mutable std::unique_ptr<topo::CsrAdjacency> csr_;
   mutable std::vector<double> bw_;
   mutable std::vector<double> bwfactor_;
   mutable std::vector<topo::LinkId> by_bw_;
   mutable std::vector<topo::LinkId> by_bwfactor_;
+  /// Explicit validity flags: under link removal the cached vectors no
+  /// longer track link_count(), so "wrong size" is not a usable dirtiness
+  /// signal.
+  mutable bool bw_valid_ = false;
+  mutable bool bwfactor_valid_ = false;
+  mutable bool by_bw_valid_ = false;
+  mutable bool by_bwfactor_valid_ = false;
   mutable std::unique_ptr<topo::Components> base_comps_;
-  mutable std::vector<std::unique_ptr<topo::BottleneckRow>> rows_;
+  mutable std::vector<std::unique_ptr<RowEntry>> rows_;
+  mutable std::vector<remos::Delta> pending_;      // revalidate scratch
+  mutable std::vector<topo::NodeId> repair_queue_;  // repair BFS scratch
 };
 
 }  // namespace netsel::select

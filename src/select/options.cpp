@@ -40,11 +40,14 @@ bool node_eligible(const remos::NetworkSnapshot& snap, topo::NodeId n,
 
 std::vector<char> initial_link_mask(const remos::NetworkSnapshot& snap,
                                     const SelectionOptions& opt) {
-  std::vector<char> mask(snap.graph().link_count(), 1);
-  if (opt.min_bw_bps > 0.0) {
-    for (std::size_t l = 0; l < mask.size(); ++l) {
-      if (snap.bw(static_cast<topo::LinkId>(l)) < opt.min_bw_bps) mask[l] = 0;
-    }
+  const auto& g = snap.graph();
+  std::vector<char> mask(g.link_count(), 1);
+  for (std::size_t l = 0; l < mask.size(); ++l) {
+    if (g.link_removed(static_cast<topo::LinkId>(l)))
+      mask[l] = 0;  // tombstoned links are never usable
+    else if (opt.min_bw_bps > 0.0 &&
+             snap.bw(static_cast<topo::LinkId>(l)) < opt.min_bw_bps)
+      mask[l] = 0;
   }
   return mask;
 }

@@ -76,6 +76,70 @@ CsrAdjacency CsrAdjacency::build(const TopologyGraph& g) {
   return adj;
 }
 
+void CsrAdjacency::patch_add_node(const TopologyGraph& g, NodeId n) {
+  if (static_cast<std::size_t>(n) != node_count())
+    throw std::invalid_argument("patch_add_node: ids must be patched in order");
+  row_start.push_back(row_start.back());
+  is_compute.push_back(g.is_compute(n) ? 1 : 0);
+}
+
+void CsrAdjacency::patch_add_link(const TopologyGraph& g, LinkId l) {
+  if (static_cast<std::size_t>(l) != link_count())
+    throw std::invalid_argument("patch_add_link: ids must be patched in order");
+  const Link& lk = g.link(l);
+  // add_link appends to incident_[a] then incident_[b]; insert each
+  // half-edge at the end of its row so the links_of() order is preserved.
+  auto insert_half = [&](NodeId at, NodeId other) {
+    const auto pos = static_cast<std::size_t>(
+        row_start[static_cast<std::size_t>(at) + 1]);
+    neighbor.insert(neighbor.begin() + static_cast<std::ptrdiff_t>(pos), other);
+    via.insert(via.begin() + static_cast<std::ptrdiff_t>(pos), l);
+    for (std::size_t k = static_cast<std::size_t>(at) + 1;
+         k < row_start.size(); ++k)
+      ++row_start[k];
+  };
+  insert_half(lk.a, lk.b);
+  insert_half(lk.b, lk.a);
+  link_latency.push_back(lk.latency);
+}
+
+void CsrAdjacency::patch_remove_link(const TopologyGraph& g, LinkId l) {
+  if (l < 0 || static_cast<std::size_t>(l) >= link_count())
+    throw std::invalid_argument("patch_remove_link: link out of range");
+  const Link& lk = g.link(l);  // record outlives removal
+  auto erase_half = [&](NodeId at) {
+    const auto lo = static_cast<std::size_t>(
+        row_start[static_cast<std::size_t>(at)]);
+    const auto hi = static_cast<std::size_t>(
+        row_start[static_cast<std::size_t>(at) + 1]);
+    for (std::size_t e = lo; e < hi; ++e) {
+      if (via[e] != l) continue;
+      neighbor.erase(neighbor.begin() + static_cast<std::ptrdiff_t>(e));
+      via.erase(via.begin() + static_cast<std::ptrdiff_t>(e));
+      for (std::size_t k = static_cast<std::size_t>(at) + 1;
+           k < row_start.size(); ++k)
+        --row_start[k];
+      return;
+    }
+    throw std::invalid_argument("patch_remove_link: half-edge not found");
+  };
+  erase_half(lk.a);
+  erase_half(lk.b);
+  // The latency slot stays: link ids are never recycled, and keeping the
+  // slot keeps every id-indexed weight array aligned with link_count().
+}
+
+void CsrAdjacency::patch_remove_node(NodeId n) {
+  if (n < 0 || static_cast<std::size_t>(n) >= node_count())
+    throw std::invalid_argument("patch_remove_node: node out of range");
+  const auto lo = static_cast<std::size_t>(row_start[static_cast<std::size_t>(n)]);
+  const auto hi =
+      static_cast<std::size_t>(row_start[static_cast<std::size_t>(n) + 1]);
+  if (lo != hi)
+    throw std::invalid_argument("patch_remove_node: node still has links");
+  is_compute[static_cast<std::size_t>(n)] = 0;
+}
+
 Components connected_components(const CsrAdjacency& adj,
                                 const std::vector<char>& link_active) {
   if (link_active.size() != adj.link_count())
@@ -168,6 +232,9 @@ BottleneckRow bottleneck_row(const TopologyGraph& g, NodeId src,
   row.bottleneck[static_cast<std::size_t>(src)] = kInf;
   if (!weight2.empty()) row.bottleneck2[static_cast<std::size_t>(src)] = kInf;
   row.reached[static_cast<std::size_t>(src)] = 1;
+  row.tree_link.assign(n, kInvalidLink);
+  row.order.reserve(n);
+  row.order.push_back(src);
   // The FIFO order and links_of() iteration order below must match
   // select::bfs_path exactly: they define the same BFS tree, hence the same
   // deterministic paths on cyclic graphs.
@@ -183,6 +250,8 @@ BottleneckRow bottleneck_row(const TopologyGraph& g, NodeId src,
       if (row.reached[iv]) continue;
       row.reached[iv] = 1;
       const auto il = static_cast<std::size_t>(l);
+      row.tree_link[iv] = l;
+      row.order.push_back(v);
       row.bottleneck[iv] = std::min(row.bottleneck[iu], weight[il]);
       if (!weight2.empty())
         row.bottleneck2[iv] = std::min(row.bottleneck2[iu], weight2[il]);
@@ -210,9 +279,11 @@ BottleneckRow bottleneck_row(const CsrAdjacency& adj, NodeId src,
   row.bottleneck[static_cast<std::size_t>(src)] = kInf;
   if (!weight2.empty()) row.bottleneck2[static_cast<std::size_t>(src)] = kInf;
   row.reached[static_cast<std::size_t>(src)] = 1;
+  row.tree_link.assign(n, kInvalidLink);
   // Flat FIFO frontier: a node enters at most once, so a vector with a read
-  // cursor is the same queue discipline as the graph-walking overload.
-  std::vector<NodeId> fifo;
+  // cursor is the same queue discipline as the graph-walking overload. The
+  // frontier *is* the discovery order, recorded as row.order.
+  std::vector<NodeId>& fifo = row.order;
   fifo.reserve(n);
   fifo.push_back(src);
   for (std::size_t head = 0; head < fifo.size(); ++head) {
@@ -224,6 +295,7 @@ BottleneckRow bottleneck_row(const CsrAdjacency& adj, NodeId src,
       if (row.reached[iv]) continue;
       row.reached[iv] = 1;
       const auto il = static_cast<std::size_t>(adj.via[e]);
+      row.tree_link[iv] = adj.via[e];
       row.bottleneck[iv] = std::min(row.bottleneck[iu], weight[il]);
       if (!weight2.empty())
         row.bottleneck2[iv] = std::min(row.bottleneck2[iu], weight2[il]);

@@ -69,6 +69,18 @@ struct CsrAdjacency {
   std::size_t link_count() const { return link_latency.size(); }
 
   static CsrAdjacency build(const TopologyGraph& g);
+
+  /// In-place structural patches, mirroring a TopologyGraph mutation so the
+  /// patched CSR equals build() on the mutated graph bit for bit — half-edge
+  /// order included. O(V + E) memmoves per patch instead of a full rebuild
+  /// with fresh allocations. `g` must already reflect the mutation; patches
+  /// must be applied in mutation order.
+  void patch_add_node(const TopologyGraph& g, NodeId n);
+  void patch_add_link(const TopologyGraph& g, LinkId l);
+  void patch_remove_link(const TopologyGraph& g, LinkId l);
+  /// Node removal only clears the compute flag (removal requires degree 0,
+  /// so there are no half-edges to drop).
+  void patch_remove_node(NodeId n);
 };
 
 /// connected_components over the CSR view; identical output (component
@@ -131,6 +143,14 @@ struct BottleneckRow {
   std::vector<double> bottleneck2;  ///< same for weight2 (empty if not given)
   std::vector<double> latency;      ///< summed link latency along path
   std::vector<char> reached;        ///< 0 for nodes in other components
+  /// BFS-tree structure, recorded so a weight-only change can be replayed
+  /// in place (select::SelectionContext): the link that first reached each
+  /// node (kInvalidLink for src and unreached nodes) and the discovery
+  /// (FIFO) order of the reached nodes, src first. Replaying the bottleneck
+  /// recurrence over `order` with updated weights is bit-identical to a
+  /// rebuild, because the tree is weight-independent.
+  std::vector<LinkId> tree_link;
+  std::vector<NodeId> order;
 };
 
 BottleneckRow bottleneck_row(const TopologyGraph& g, NodeId src,

@@ -15,6 +15,7 @@ std::string to_dot(const TopologyGraph& g, const DotOptions& opt) {
   os << "graph " << opt.graph_name << " {\n";
   os << "  layout=neato; overlap=false; splines=true;\n";
   for (std::size_t i = 0; i < g.node_count(); ++i) {
+    if (g.node_removed(static_cast<NodeId>(i))) continue;
     const Node& n = g.node(static_cast<NodeId>(i));
     bool hl = std::find(opt.highlight.begin(), opt.highlight.end(),
                         static_cast<NodeId>(i)) != opt.highlight.end();
@@ -24,6 +25,7 @@ std::string to_dot(const TopologyGraph& g, const DotOptions& opt) {
     os << "];\n";
   }
   for (std::size_t l = 0; l < g.link_count(); ++l) {
+    if (g.link_removed(static_cast<LinkId>(l))) continue;
     const Link& lk = g.link(static_cast<LinkId>(l));
     std::string label;
     if (!opt.link_labels.empty() && !opt.link_labels[l].empty()) {

@@ -94,6 +94,33 @@ LinkId TopologyGraph::add_link(NodeId a, NodeId b, double capacity_ab,
   return id;
 }
 
+void TopologyGraph::remove_link(LinkId l) {
+  if (l < 0 || static_cast<std::size_t>(l) >= links_.size())
+    throw std::invalid_argument("remove_link: link out of range");
+  if (link_removed(l)) throw std::invalid_argument("remove_link: already removed");
+  const Link& lk = links_[static_cast<std::size_t>(l)];
+  // Erase from both incident lists preserving the relative order of the
+  // survivors: links_of() order defines the deterministic BFS trees, and the
+  // incremental caches rely on removal not reshuffling them.
+  for (NodeId end : {lk.a, lk.b}) {
+    auto& inc = incident_[static_cast<std::size_t>(end)];
+    inc.erase(std::remove(inc.begin(), inc.end(), l), inc.end());
+  }
+  if (link_removed_.size() < links_.size()) link_removed_.resize(links_.size(), 0);
+  link_removed_[static_cast<std::size_t>(l)] = 1;
+}
+
+void TopologyGraph::remove_node(NodeId n) {
+  if (n < 0 || static_cast<std::size_t>(n) >= nodes_.size())
+    throw std::invalid_argument("remove_node: node out of range");
+  if (node_removed(n)) throw std::invalid_argument("remove_node: already removed");
+  if (!incident_[static_cast<std::size_t>(n)].empty())
+    throw std::invalid_argument("remove_node: remove incident links first");
+  if (node_removed_.size() < nodes_.size()) node_removed_.resize(nodes_.size(), 0);
+  node_removed_[static_cast<std::size_t>(n)] = 1;
+  name_index_.erase(nodes_[static_cast<std::size_t>(n)].name);
+}
+
 std::span<const LinkId> TopologyGraph::links_of(NodeId n) const {
   return incident_.at(static_cast<std::size_t>(n));
 }
@@ -114,15 +141,15 @@ std::optional<NodeId> TopologyGraph::find_node(std::string_view name) const {
 std::vector<NodeId> TopologyGraph::compute_nodes() const {
   std::vector<NodeId> out;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].kind == NodeKind::Compute) out.push_back(static_cast<NodeId>(i));
+    if (is_compute(static_cast<NodeId>(i))) out.push_back(static_cast<NodeId>(i));
   }
   return out;
 }
 
 std::size_t TopologyGraph::compute_node_count() const {
   std::size_t c = 0;
-  for (const auto& n : nodes_)
-    if (n.kind == NodeKind::Compute) ++c;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (is_compute(static_cast<NodeId>(i))) ++c;
   return c;
 }
 
@@ -130,11 +157,20 @@ void TopologyGraph::validate() const {
   if (nodes_.empty()) throw std::invalid_argument("topology: empty graph");
   if (compute_node_count() == 0)
     throw std::invalid_argument("topology: no compute nodes");
-  // Connectivity via BFS from node 0.
+  // Connectivity via BFS from the first present node; removed (tombstoned)
+  // nodes are not expected to be reachable.
+  std::size_t present = 0;
+  NodeId start = kInvalidNode;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_removed(static_cast<NodeId>(i))) continue;
+    ++present;
+    if (start == kInvalidNode) start = static_cast<NodeId>(i);
+  }
+  if (start == kInvalidNode) throw std::invalid_argument("topology: empty graph");
   std::vector<char> seen(nodes_.size(), 0);
   std::queue<NodeId> q;
-  q.push(0);
-  seen[0] = 1;
+  q.push(start);
+  seen[static_cast<std::size_t>(start)] = 1;
   std::size_t reached = 1;
   while (!q.empty()) {
     NodeId u = q.front();
@@ -148,10 +184,11 @@ void TopologyGraph::validate() const {
       }
     }
   }
-  if (reached != nodes_.size()) {
+  if (reached != present) {
     std::ostringstream os;
-    os << "topology: graph is disconnected (" << reached << " of "
-       << nodes_.size() << " nodes reachable from " << nodes_[0].name << ")";
+    os << "topology: graph is disconnected (" << reached << " of " << present
+       << " nodes reachable from "
+       << nodes_[static_cast<std::size_t>(start)].name << ")";
     throw std::invalid_argument(os.str());
   }
 }
@@ -170,7 +207,9 @@ bool TopologyGraph::is_acyclic() const {
     }
     return x;
   };
-  for (const auto& l : links_) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (link_removed(static_cast<LinkId>(i))) continue;
+    const Link& l = links_[i];
     NodeId ra = find(l.a), rb = find(l.b);
     if (ra == rb) return false;  // this edge closes a cycle
     parent[static_cast<std::size_t>(ra)] = rb;

@@ -89,6 +89,25 @@ class TopologyGraph {
   };
   LinkId add_link(NodeId a, NodeId b, LinkSpec spec);
 
+  /// Remove a link. Ids are never recycled: the Link record stays readable
+  /// (endpoints, capacities) and keeps its slot in link_count(), but the
+  /// link disappears from links_of()/degree() and link_removed() turns true.
+  /// Live NetworkSnapshots must be told via notify_link_removed().
+  void remove_link(LinkId l);
+  bool link_removed(LinkId l) const {
+    return static_cast<std::size_t>(l) < link_removed_.size() &&
+           link_removed_[static_cast<std::size_t>(l)];
+  }
+
+  /// Remove a node. Only degree-0 nodes may be removed (remove the incident
+  /// links first), so traversals need no per-edge check. The id stays
+  /// allocated; is_compute() turns false and the name becomes reusable.
+  void remove_node(NodeId n);
+  bool node_removed(NodeId n) const {
+    return static_cast<std::size_t>(n) < node_removed_.size() &&
+           node_removed_[static_cast<std::size_t>(n)];
+  }
+
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
   const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
@@ -105,7 +124,9 @@ class TopologyGraph {
   std::vector<NodeId> compute_nodes() const;
   std::size_t compute_node_count() const;
 
-  bool is_compute(NodeId n) const { return node(n).kind == NodeKind::Compute; }
+  bool is_compute(NodeId n) const {
+    return node(n).kind == NodeKind::Compute && !node_removed(n);
+  }
 
   /// Degree (number of incident links).
   std::size_t degree(NodeId n) const { return links_of(n).size(); }
@@ -133,6 +154,10 @@ class TopologyGraph {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> incident_;
+  /// Tombstones; empty (all-present) until the first removal, so the
+  /// append-only fast paths allocate nothing.
+  std::vector<char> link_removed_;
+  std::vector<char> node_removed_;
   /// name -> id. Keeps graph construction O(V + E) — the synthetic
   /// datacenter generators build 10k+-node graphs, where the linear-scan
   /// lookup add_node used for duplicate detection was quadratic.

@@ -254,8 +254,12 @@ TopologyGraph parse_topology(std::string_view text) {
 
 std::string format_topology(const TopologyGraph& g) {
   std::ostringstream os;
+  // Removed (tombstoned) nodes and links are skipped: the serialised form
+  // describes the present topology, so a mutated graph round-trips to an
+  // equivalent graph with compacted ids.
   os << "# " << g.node_count() << " nodes, " << g.link_count() << " links\n";
   for (std::size_t i = 0; i < g.node_count(); ++i) {
+    if (g.node_removed(static_cast<NodeId>(i))) continue;
     const Node& n = g.node(static_cast<NodeId>(i));
     if (n.kind == NodeKind::Network) {
       os << "node " << n.name << " router\n";
@@ -271,6 +275,7 @@ std::string format_topology(const TopologyGraph& g) {
     }
   }
   for (std::size_t l = 0; l < g.link_count(); ++l) {
+    if (g.link_removed(static_cast<LinkId>(l))) continue;
     const Link& lk = g.link(static_cast<LinkId>(l));
     os << "link " << g.node(lk.a).name << " " << g.node(lk.b).name << " "
        << lk.capacity_ab / 1e6 << "Mbps";
