@@ -2,15 +2,16 @@
 # Regenerate BENCH_scale.json: build Release, run the synthetic-topology
 # scalability grid (topology family x node count x criterion, pruned vs
 # unpruned, cold vs warm), and write the perf record to the repo root. The
-# record carries the headline contract — balanced m=16 on a ~10,000-host
-# fat-tree, cold, single-threaded, under 1 s — plus the warm_rows pool
-# speedup and the select.prune.dropped counter. The full metrics document
-# and Chrome trace land next to it (metrics_scale.json, trace_scale.json —
-# load the latter in Perfetto).
+# record carries the headline contract — balanced m=64 on a ~1M-host
+# three-level fat-tree, cold, single-threaded, under 1 s — plus the kernel
+# comparison (graph/csr/flat scalar vs 64-wide batched bitset BFS), the
+# warm_rows thread-scaling curve, and peak RSS / arena bytes. The full
+# metrics document and Chrome trace land next to it (metrics_scale.json,
+# trace_scale.json — load the latter in Perfetto).
 #
 # Usage: scripts/bench_scale_json.sh [reps] [threads]
 #   reps     repetitions per cell after the cold call (default 3)
-#   threads  worker count for the warm_rows comparison (default -1: one per
+#   threads  top of the warm_rows worker sweep (default -1: one per
 #            hardware thread; selection itself is always single-threaded)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,7 +21,7 @@ THREADS="${2:--1}"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$(nproc)" --target bench_scale >/dev/null
-./build/bench/bench_scale "$REPS" 4242 --threads "$THREADS" \
+./build/bench/bench_scale "$REPS" 4242 --m 64 --huge --threads "$THREADS" \
   --bench-json BENCH_scale.json \
   --metrics-json metrics_scale.json --chrome-trace trace_scale.json
 python3 scripts/check_metrics_json.py --profile scale \

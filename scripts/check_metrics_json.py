@@ -47,6 +47,10 @@ PROFILES = {
         "counters": [
             "select.ctx.row_hits",
             "select.ctx.row_misses",
+            "select.ctx.rows.batched",
+            "select.ctx.rows.scalar_fallback",
+            "select.ctx.batch.passes",
+            "select.ctx.batch.frontier_words",
             "select.prune.dropped",
             "select.selections",
             "api.degradation.full",
@@ -57,6 +61,10 @@ PROFILES = {
             "select.latency_s.balanced",
             "select.latency_s.max_bandwidth",
             "select.latency_s.max_compute",
+        ],
+        "gauges": [
+            "proc.peak_rss_bytes",
+            "select.ctx.arena_bytes",
         ],
     },
     "churn": {
@@ -125,6 +133,17 @@ def check_metrics(path, profile):
                 f"{path}: histogram {name!r}: count={h.get('count')} "
                 f"!= sum(counts)={sum(counts)}"
             )
+
+    gauge_names = PROFILES[profile].get("gauges", [])
+    if gauge_names:
+        gauges = doc.get("gauges")
+        if not isinstance(gauges, dict):
+            fail(f"{path}: 'gauges' missing or not an object")
+        for name in gauge_names:
+            if name not in gauges:
+                fail(f"{path}: required gauge {name!r} missing")
+            if not isinstance(gauges[name], (int, float)) or gauges[name] < 0:
+                fail(f"{path}: gauge {name!r} is not a non-negative number")
 
     if not isinstance(doc.get("spans"), int):
         fail(f"{path}: 'spans' missing or not an integer")

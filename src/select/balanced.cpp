@@ -58,6 +58,7 @@
 #include "select/prune.hpp"
 #include "select/reference.hpp"
 #include "topo/connectivity.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netsel::select {
 
@@ -81,7 +82,13 @@ struct ForestNode {
   /// exactly the prefix detail::top_m_by_cpu's stable sort would produce.
   /// Built bottom-up: a node in the parent's top-m is necessarily in its
   /// child's top-m, so merging the children's lists (capped at m) is exact.
-  std::vector<topo::NodeId> top;
+  /// Stored as an (offset, len) slice of one shared pool rather than a
+  /// per-node vector: the replay creates ~V+E forest nodes, and that many
+  /// small vectors dominate its time and memory at the million-node scale.
+  /// When a merge takes every element from one child the parent *shares*
+  /// the child's slice (no copy) — children are immutable once merged.
+  std::int64_t top_off = 0;
+  std::int32_t top_len = 0;
 };
 
 struct Candidate {
@@ -93,13 +100,16 @@ struct Candidate {
 
 Candidate evaluate_forest_node(const std::vector<double>& cpu,
                                const SelectionOptions& opt,
-                               const std::vector<ForestNode>& forest, int f) {
+                               const std::vector<ForestNode>& forest,
+                               const std::vector<topo::NodeId>& top_pool,
+                               int f) {
   const auto& fn = forest[static_cast<std::size_t>(f)];
   Candidate cand;
-  cand.nodes = fn.top;
+  const auto lo = static_cast<std::ptrdiff_t>(fn.top_off);
+  cand.nodes.assign(top_pool.begin() + lo, top_pool.begin() + lo + fn.top_len);
   // top is ordered by (cpu desc, id asc): the minimum cpu is the last
   // element's, and top_m_by_cpu returns its selection ascending by id.
-  cand.mincpu = cpu[static_cast<std::size_t>(fn.top.back())];
+  cand.mincpu = cpu[static_cast<std::size_t>(cand.nodes.back())];
   std::sort(cand.nodes.begin(), cand.nodes.end());
   cand.minbw = fn.minfrac;
   cand.minresource =
@@ -107,28 +117,60 @@ Candidate evaluate_forest_node(const std::vector<double>& cpu,
   return cand;
 }
 
-/// Merge two (cpu desc, id asc)-ordered lists, keeping the first m. The key
-/// is a strict total order (ids are unique), so this is exactly the prefix a
-/// stable sort of the concatenated membership would yield.
-std::vector<topo::NodeId> merge_top(const std::vector<double>& cpu,
-                                    const std::vector<topo::NodeId>& a,
-                                    const std::vector<topo::NodeId>& b,
-                                    std::size_t m) {
-  std::vector<topo::NodeId> out;
-  out.reserve(std::min(m, a.size() + b.size()));
-  std::size_t i = 0, j = 0;
+/// Merge the children's (cpu desc, id asc)-ordered top lists, keeping the
+/// first m, into `out`'s slice of `top_pool`. The key is a strict total
+/// order (ids are unique), so this is exactly the prefix a stable sort of
+/// the concatenated membership would yield. When one child contributes
+/// nothing the result is the other child's slice verbatim, shared instead
+/// of copied (children stay immutable once merged).
+void merge_top(const std::vector<double>& cpu,
+               std::vector<topo::NodeId>& top_pool, const ForestNode& a,
+               const ForestNode& b, std::size_t m, ForestNode& out) {
   auto before = [&](topo::NodeId x, topo::NodeId y) {
     const double cx = cpu[static_cast<std::size_t>(x)];
     const double cy = cpu[static_cast<std::size_t>(y)];
     return cx > cy || (cx == cy && x < y);
   };
-  while (out.size() < m && (i < a.size() || j < b.size())) {
-    if (j >= b.size() || (i < a.size() && before(a[i], b[j])))
-      out.push_back(a[i++]);
-    else
-      out.push_back(b[j++]);
+  const auto alen = static_cast<std::size_t>(a.top_len);
+  const auto blen = static_cast<std::size_t>(b.top_len);
+  auto share = [&](const ForestNode& c) {
+    out.top_off = c.top_off;
+    out.top_len = c.top_len;
+  };
+  // Share when the other child cannot place an element among the first m:
+  // it is empty, or this child is already full and its last (worst) element
+  // still precedes the other's best.
+  if (blen == 0 ||
+      (alen == m &&
+       before(top_pool[static_cast<std::size_t>(a.top_off) + alen - 1],
+              top_pool[static_cast<std::size_t>(b.top_off)]))) {
+    share(a);
+    return;
   }
-  return out;
+  if (alen == 0 ||
+      (blen == m &&
+       before(top_pool[static_cast<std::size_t>(b.top_off) + blen - 1],
+              top_pool[static_cast<std::size_t>(a.top_off)]))) {
+    share(b);
+    return;
+  }
+  const std::size_t want = std::min(m, alen + blen);
+  const std::size_t start = top_pool.size();
+  out.top_off = static_cast<std::int64_t>(start);
+  out.top_len = static_cast<std::int32_t>(want);
+  std::size_t i = 0, j = 0;
+  // Index the pool on every read: push_back may reallocate mid-merge.
+  while (top_pool.size() - start < want) {
+    const auto ai = static_cast<std::size_t>(a.top_off) + i;
+    const auto bj = static_cast<std::size_t>(b.top_off) + j;
+    if (j >= blen || (i < alen && before(top_pool[ai], top_pool[bj]))) {
+      top_pool.push_back(top_pool[ai]);
+      ++i;
+    } else {
+      top_pool.push_back(top_pool[bj]);
+      ++j;
+    }
+  }
 }
 
 SelectionResult select_balanced_forest(const SelectionContext& ctx,
@@ -150,9 +192,19 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   // fractions rather than reusing the absolute-bandwidth order (two
   // bandwidths may round to equal fractions, where the id tie-break kicks
   // in).
+  // Per-link/per-node key fills: pure per-index writes into pre-sized
+  // vectors, so the optional pooled fill (ctx.set_pool) is bit-identical to
+  // the serial loop at any thread count.
+  util::ThreadPool* pp = ctx.pool();
   std::vector<double> frac(g.link_count());
-  for (std::size_t l = 0; l < frac.size(); ++l)
-    frac[l] = link_fraction(snap, static_cast<topo::LinkId>(l), opt);
+  auto fill_frac = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t l = lo; l < hi; ++l)
+      frac[l] = link_fraction(snap, static_cast<topo::LinkId>(l), opt);
+  };
+  if (pp && frac.size() >= 8192)
+    util::parallel_for_chunked(*pp, frac.size(), 4096, fill_frac);
+  else
+    fill_frac(0, frac.size());
   std::vector<topo::LinkId> seq;
   seq.reserve(g.link_count());
   if (opt.reference_bw > 0.0) {
@@ -178,8 +230,14 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   // nodes are ever ranked, the rest stay 0.
   const std::size_t V = g.node_count();
   std::vector<double> cpu(V, 0.0);
-  for (std::size_t n = 0; n < V; ++n)
-    if (elig[n]) cpu[n] = node_cpu(snap, static_cast<topo::NodeId>(n), opt);
+  auto fill_cpu = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t n = lo; n < hi; ++n)
+      if (elig[n]) cpu[n] = node_cpu(snap, static_cast<topo::NodeId>(n), opt);
+  };
+  if (pp && V >= 8192)
+    util::parallel_for_chunked(*pp, V, 4096, fill_cpu);
+  else
+    fill_cpu(0, V);
 
   // Reverse replay: insert links back-to-front. A merge records the newborn
   // component (split_at[p] is the forest node forward step p splits into its
@@ -195,12 +253,21 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   forest.reserve(V + steps);
   std::vector<int> forest_of_root(V);
   const auto mm = static_cast<std::size_t>(m);
+  // Shared storage for every ForestNode::top slice. Leaf slices come first;
+  // slice sharing on lopsided merges keeps the tail near sum(min(m,
+  // subtree-eligible)) rather than m per forest node.
+  std::vector<topo::NodeId> top_pool;
+  top_pool.reserve(V + steps);
   for (std::size_t i = 0; i < V; ++i) {
     ForestNode fn;
     fn.leaf = static_cast<topo::NodeId>(i);
     fn.eligible = elig[i] ? 1 : 0;
     fn.min_id = fn.leaf;
-    if (cand[i]) fn.top.push_back(fn.leaf);
+    fn.top_off = static_cast<std::int64_t>(top_pool.size());
+    if (cand[i]) {
+      top_pool.push_back(fn.leaf);
+      fn.top_len = 1;
+    }
     forest.push_back(fn);
     forest_of_root[i] = static_cast<int>(i);
   }
@@ -209,10 +276,23 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   std::vector<int> cycle_at(steps + 1, -1);
   std::vector<double> cycle_minfrac(steps + 1, kInf);
   std::vector<std::size_t> min_pos(V, kNoPos);
-  for (std::size_t i = steps; i-- > 0;) {
+  // Gather each step's endpoints and fraction once, in deletion-sequence
+  // order: the replay walks seq back-to-front with dependent union-find
+  // work per step, and random g.link()/frac[] loads on that critical path
+  // stall it at the million-link scale. Independent gather loops let the
+  // misses overlap; the replay then streams these arrays sequentially.
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> seq_ends(steps);
+  std::vector<double> seq_frac(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
     const topo::Link& lk = g.link(seq[i]);
-    const topo::NodeId ra = uf.find(lk.a);
-    const topo::NodeId rb = uf.find(lk.b);
+    seq_ends[i] = {lk.a, lk.b};
+  }
+  for (std::size_t i = 0; i < steps; ++i)
+    seq_frac[i] = frac[static_cast<std::size_t>(seq[i])];
+  for (std::size_t i = steps; i-- > 0;) {
+    const auto [end_a, end_b] = seq_ends[i];
+    const topo::NodeId ra = uf.find(end_a);
+    const topo::NodeId rb = uf.find(end_b);
     if (ra == rb) {
       // Cycle link: membership unchanged; forward deletion raises the
       // component's min-fraction to its next-surviving internal link's.
@@ -220,9 +300,8 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
       const std::size_t old = min_pos[static_cast<std::size_t>(ra)];
       cycle_at[i + 1] = f;
       cycle_minfrac[i + 1] =
-          old == kNoPos ? kInf : frac[static_cast<std::size_t>(seq[old])];
-      forest[static_cast<std::size_t>(f)].minfrac =
-          frac[static_cast<std::size_t>(seq[i])];
+          old == kNoPos ? kInf : seq_frac[old];
+      forest[static_cast<std::size_t>(f)].minfrac = seq_frac[i];
       min_pos[static_cast<std::size_t>(ra)] = i;
       continue;
     }
@@ -237,12 +316,12 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
                          forest[static_cast<std::size_t>(fb)].min_id);
     // seq[i] precedes every already-inserted internal link in the ascending
     // deletion order, so it is the new component's fraction minimum.
-    fn.minfrac = frac[static_cast<std::size_t>(seq[i])];
-    fn.top = merge_top(cpu, forest[static_cast<std::size_t>(fa)].top,
-                       forest[static_cast<std::size_t>(fb)].top, mm);
+    fn.minfrac = seq_frac[i];
+    merge_top(cpu, top_pool, forest[static_cast<std::size_t>(fa)],
+              forest[static_cast<std::size_t>(fb)], mm, fn);
     const int idx = static_cast<int>(forest.size());
     forest.push_back(fn);
-    const topo::NodeId r = uf.unite(lk.a, lk.b);
+    const topo::NodeId r = uf.unite(end_a, end_b);
     forest_of_root[static_cast<std::size_t>(r)] = idx;
     min_pos[static_cast<std::size_t>(r)] = i;
     split_at[i + 1] = idx;
@@ -275,7 +354,7 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
   for (int f : roots) {
     if (forest[static_cast<std::size_t>(f)].eligible < m) continue;
     ++feasible_live;
-    auto cand = evaluate_forest_node(cpu, opt, forest, f);
+    auto cand = evaluate_forest_node(cpu, opt, forest, top_pool, f);
     if (cand.minresource > best.minresource) best = std::move(cand);
   }
   if (best.nodes.empty()) {
@@ -302,7 +381,7 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
       for (int f : {a, b}) {
         if (forest[static_cast<std::size_t>(f)].eligible < m) continue;
         ++feasible_live;
-        auto cand = evaluate_forest_node(cpu, opt, forest, f);
+        auto cand = evaluate_forest_node(cpu, opt, forest, top_pool, f);
         if (cand.minresource > best.minresource) {
           best = std::move(cand);
           newsetflag = true;
@@ -312,7 +391,7 @@ SelectionResult select_balanced_forest(const SelectionContext& ctx,
       const int f = cycle_at[p];
       forest[static_cast<std::size_t>(f)].minfrac = cycle_minfrac[p];
       if (forest[static_cast<std::size_t>(f)].eligible >= m) {
-        auto cand = evaluate_forest_node(cpu, opt, forest, f);
+        auto cand = evaluate_forest_node(cpu, opt, forest, top_pool, f);
         if (cand.minresource > best.minresource) {
           best = std::move(cand);
           newsetflag = true;

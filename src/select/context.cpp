@@ -59,6 +59,38 @@ obs::Histogram& csr_patch_hist() {
       "select.ctx.csr_patch_s", obs::exp_buckets(1e-7, 4.0, 12));
   return h;
 }
+// Batched-kernel visibility (warm_rows): level-synchronous passes and
+// frontier-mask words sweep-summed across batches, plus how many rows the
+// word-parallel kernel served vs. rebuilt scalar after a discovery-order
+// rejection.
+obs::Counter& batch_passes() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.batch.passes");
+  return c;
+}
+obs::Counter& batch_frontier_words() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.batch.frontier_words");
+  return c;
+}
+obs::Counter& rows_batched() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.rows.batched");
+  return c;
+}
+obs::Counter& rows_scalar_fallback() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("select.ctx.rows.scalar_fallback");
+  return c;
+}
+obs::Gauge& arena_bytes_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("select.ctx.arena_bytes");
+  return g;
+}
+/// Minimum per-chunk work for the pool-parallel scoring fills: below this
+/// the submit overhead beats the loop.
+constexpr std::size_t kScoreChunk = 4096;
 }  // namespace
 
 SelectionContext::SelectionContext(const remos::NetworkSnapshot& snap)
@@ -75,6 +107,15 @@ SelectionContext::SelectionContext(const remos::NetworkSnapshot& snap)
   rows_invalidated_full();
   rows_repaired();
   csr_patch_hist();
+  batch_passes();
+  batch_frontier_words();
+  rows_batched();
+  rows_scalar_fallback();
+  arena_bytes_gauge();
+  // Owned by prune.cpp, but registered here too: the candidate-count
+  // short-circuit can mean no selection ever reaches the pruner, and the
+  // exported document must still carry the counter at 0.
+  obs::Registry::global().counter("select.prune.dropped");
 }
 
 // ---------------------------------------------------------------------------
@@ -108,6 +149,8 @@ void SelectionContext::invalidate_all() const {
   // The unseen deltas may have been structural, so the graph-shaped caches
   // go too.
   csr_.reset();
+  flat_.reset();
+  arena_bytes_gauge().set(0.0);
   acyclic_ = -1;
 }
 
@@ -187,6 +230,12 @@ void SelectionContext::apply_link_bandwidth(topo::LinkId l) const {
     }
   }
   if (!changed) return;
+  // The arena mirrors the weight arrays: a bandwidth delta is a two-double
+  // in-place patch, never a rebuild (the structure sections are untouched).
+  if (flat_) {
+    flat_->set_link_bw(l, snap_->bw(l));
+    flat_->set_link_bwfactor(l, snap_->bwfactor(l));
+  }
   // Rows whose BFS tree does not use l do not depend on it at all; rows
   // whose tree does are repaired in place (O(V) value replay, no BFS).
   for (auto& e : rows_) {
@@ -249,6 +298,7 @@ void SelectionContext::repair_row_values(RowEntry& e, topo::LinkId l) const {
 }
 
 void SelectionContext::apply_node_added(topo::NodeId n) const {
+  flat_.reset();  // structural: the arena's sections no longer fit
   if (csr_) {
     obs::ScopedTimer t(csr_patch_hist());
     csr_->patch_add_node(graph(), n);
@@ -282,6 +332,7 @@ void SelectionContext::apply_node_removed(topo::NodeId n) const {
   // incident link has already been removed (and the rows those removals
   // touched dropped): no built row reaches n except n's own singleton row,
   // which a rebuild reproduces unchanged. Only the compute flag flips.
+  flat_.reset();  // the arena carries is_compute
   if (csr_) {
     obs::ScopedTimer t(csr_patch_hist());
     csr_->patch_remove_node(n);
@@ -295,6 +346,7 @@ void SelectionContext::apply_node_removed(topo::NodeId n) const {
 
 void SelectionContext::apply_link_added(topo::LinkId l) const {
   const auto il = static_cast<std::size_t>(l);
+  flat_.reset();
   if (csr_) {
     obs::ScopedTimer t(csr_patch_hist());
     csr_->patch_add_link(graph(), l);
@@ -331,6 +383,7 @@ void SelectionContext::apply_link_added(topo::LinkId l) const {
 
 void SelectionContext::apply_link_removed(topo::LinkId l) const {
   const auto il = static_cast<std::size_t>(l);
+  flat_.reset();
   if (csr_) {
     obs::ScopedTimer t(csr_patch_hist());
     csr_->patch_remove_link(graph(), l);
@@ -376,6 +429,17 @@ const topo::CsrAdjacency& SelectionContext::csr() const {
   return *csr_;
 }
 
+const topo::FlatGraph& SelectionContext::flat() const {
+  const auto& bw = link_bw();
+  const auto& f = link_bwfactor();
+  if (!flat_) {
+    flat_ = std::make_unique<topo::FlatGraph>(
+        topo::FlatGraph::build(csr(), bw, f));
+    arena_bytes_gauge().set(static_cast<double>(flat_->arena_bytes()));
+  }
+  return *flat_;
+}
+
 const std::vector<double>& SelectionContext::link_bw() const {
   revalidate();
   if (!bw_valid_) {
@@ -402,19 +466,23 @@ namespace {
 
 std::vector<topo::LinkId> sorted_by(const topo::TopologyGraph& g,
                                     const std::vector<double>& key) {
-  std::vector<topo::LinkId> order;
-  order.reserve(key.size());
+  // Sort packed (key, id) pairs rather than ids under an indirect
+  // comparator: every comparison then reads adjacent memory instead of two
+  // random key[] slots, which roughly halves the sort on million-link
+  // fabrics. Ascending by (key, id) — pair ordering gives the id tie-break
+  // directly, matching the "lowest link id among minima" rule of the
+  // per-iteration min-edge scan it replaces (ids are unique, so this is
+  // exactly the stable sort by key).
+  std::vector<std::pair<double, topo::LinkId>> keyed;
+  keyed.reserve(key.size());
   // Tombstoned links are not deletable edges: they are already gone.
   for (std::size_t l = 0; l < key.size(); ++l)
     if (!g.link_removed(static_cast<topo::LinkId>(l)))
-      order.push_back(static_cast<topo::LinkId>(l));
-  // Ascending by (key, id): the id tie-break matches the "lowest link id
-  // among minima" rule of the per-iteration min-edge scan it replaces.
-  std::stable_sort(order.begin(), order.end(),
-                   [&](topo::LinkId a, topo::LinkId b) {
-                     return key[static_cast<std::size_t>(a)] <
-                            key[static_cast<std::size_t>(b)];
-                   });
+      keyed.emplace_back(key[l], static_cast<topo::LinkId>(l));
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<topo::LinkId> order;
+  order.reserve(keyed.size());
+  for (const auto& [k, l] : keyed) order.push_back(l);
   return order;
 }
 
@@ -476,7 +544,7 @@ std::size_t SelectionContext::built_row_count() const {
 std::unique_ptr<SelectionContext::RowEntry> SelectionContext::build_row_entry(
     topo::NodeId src) const {
   auto e = std::make_unique<RowEntry>();
-  e->row = topo::bottleneck_row(csr(), src, bw_, bwfactor_);
+  e->row = topo::bottleneck_row(flat(), src);
   e->in_tree.assign(graph().link_count(), 0);
   for (topo::NodeId v : e->row.order) {
     const topo::LinkId l = e->row.tree_link[static_cast<std::size_t>(v)];
@@ -502,9 +570,7 @@ const topo::BottleneckRow& SelectionContext::pair_row(topo::NodeId src) const {
 
 void SelectionContext::warm_rows(
     util::ThreadPool& pool, const std::vector<topo::NodeId>& sources) const {
-  const auto& bw = link_bw();
-  const auto& f = link_bwfactor();
-  const auto& adj = csr();
+  const topo::FlatGraph& g = flat();
   ensure_row_slots();
   std::vector<char> queued(graph().node_count(), 0);
   std::vector<topo::NodeId> todo;
@@ -517,27 +583,53 @@ void SelectionContext::warm_rows(
   if (todo.empty()) return;
   row_misses().inc(todo.size());
   const std::size_t link_count = graph().link_count();
-  // Each task writes only its own pre-sized slot; the shared inputs are
-  // read-only, so the pool may schedule in any order.
-  util::parallel_for(pool, todo.size(), [&](std::size_t i) {
-    auto e = std::make_unique<RowEntry>();
-    e->row = topo::bottleneck_row(adj, todo[i], bw, f);
-    e->in_tree.assign(link_count, 0);
-    for (topo::NodeId v : e->row.order) {
-      const topo::LinkId l = e->row.tree_link[static_cast<std::size_t>(v)];
-      if (l != topo::kInvalidLink) e->in_tree[static_cast<std::size_t>(l)] = 1;
+  // 64-wide batches, each one multi-source bitset BFS; the batches fan out
+  // over the pool. Each task writes only its own pre-sized slots and the
+  // batch boundaries are fixed by `todo` order, so any thread count — and
+  // the zero-worker serial mode — produces identical rows (the kernel
+  // itself is bit-identical to the scalar one per its contract).
+  const std::size_t batches = (todo.size() + 63) / 64;
+  util::parallel_for(pool, batches, [&](std::size_t bi) {
+    const std::size_t lo = bi * 64;
+    const std::size_t W = std::min<std::size_t>(64, todo.size() - lo);
+    std::vector<topo::BottleneckRow> rows(W);
+    topo::BatchStats st;
+    topo::batched_bottleneck_rows(
+        g, std::span<const topo::NodeId>(todo).subspan(lo, W),
+        std::span<topo::BottleneckRow>(rows), &st);
+    for (std::size_t k = 0; k < W; ++k) {
+      auto e = std::make_unique<RowEntry>();
+      e->row = std::move(rows[k]);
+      e->in_tree.assign(link_count, 0);
+      for (topo::NodeId v : e->row.order) {
+        const topo::LinkId l = e->row.tree_link[static_cast<std::size_t>(v)];
+        if (l != topo::kInvalidLink)
+          e->in_tree[static_cast<std::size_t>(l)] = 1;
+      }
+      rows_[static_cast<std::size_t>(todo[lo + k])] = std::move(e);
     }
-    rows_[static_cast<std::size_t>(todo[i])] = std::move(e);
+    batch_passes().inc(st.passes);
+    batch_frontier_words().inc(st.frontier_words);
+    rows_batched().inc(st.batched_rows);
+    rows_scalar_fallback().inc(st.scalar_fallback_rows);
   });
 }
 
 std::vector<char> SelectionContext::eligibility(
     const SelectionOptions& opt) const {
   std::vector<char> out(graph().node_count(), 0);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    auto n = static_cast<topo::NodeId>(i);
-    if (node_eligible(*snap_, n, opt)) out[i] = 1;
-  }
+  auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto n = static_cast<topo::NodeId>(i);
+      if (node_eligible(*snap_, n, opt)) out[i] = 1;
+    }
+  };
+  // Per-index writes into a pre-sized vector: chunk order cannot affect the
+  // result, so the pooled fill is bit-identical to the serial one.
+  if (pool_ && out.size() >= 2 * kScoreChunk)
+    util::parallel_for_chunked(*pool_, out.size(), kScoreChunk, fill);
+  else
+    fill(0, out.size());
   return out;
 }
 

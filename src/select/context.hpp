@@ -54,6 +54,7 @@
 #include "remos/snapshot.hpp"
 #include "select/options.hpp"
 #include "topo/connectivity.hpp"
+#include "topo/flat_graph.hpp"
 #include "topo/graph.hpp"
 
 namespace netsel::util {
@@ -85,6 +86,23 @@ class SelectionContext {
   /// Preserves links_of() order, so BFS trees — and hence every bottleneck
   /// value — are bit-identical to the TopologyGraph kernels.
   const topo::CsrAdjacency& csr() const;
+
+  /// Cached single-allocation arena view (CSR structure + both weight
+  /// arrays + compute flags) — the layout the hot BFS kernels run on. Built
+  /// lazily from csr()/link_bw()/link_bwfactor(); a link-bandwidth delta
+  /// patches its weight sections in place, structural deltas drop it (lazy
+  /// rebuild). Bit-identical traversals: same half-edge order as csr().
+  const topo::FlatGraph& flat() const;
+  /// Bytes of the flat() arena, 0 while not built (footprint accounting).
+  std::size_t arena_bytes() const { return flat_ ? flat_->arena_bytes() : 0; }
+
+  /// Optional worker pool for the per-call scoring loops (eligibility and
+  /// the selectors' per-link/per-node key fills). Null (the default) keeps
+  /// every loop serial; results are bit-identical either way because each
+  /// index writes its own slot. The pool must outlive the context or be
+  /// unset before destruction.
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* pool() const { return pool_; }
 
   /// Available bandwidth per link, copied out of the snapshot (dense, for
   /// the kernels below).
@@ -133,9 +151,14 @@ class SelectionContext {
 
   /// Build the pair_row() cache entries for `sources` on a thread pool
   /// (duplicates and already-built rows are skipped; each build counts as a
-  /// row miss). Safe because every row lands in its own pre-sized slot; no
-  /// other accessor may run concurrently — warm, then query. A zero-worker
-  /// pool degenerates to the serial build order.
+  /// row miss). The missing sources are grouped into 64-wide batches, each
+  /// served by one multi-source bitset BFS over flat()
+  /// (topo::batched_bottleneck_rows — bit-identical to the scalar kernel,
+  /// with transparent scalar fallback), and the batches fan out over the
+  /// pool. Safe because every row lands in its own pre-sized slot; no other
+  /// accessor may run concurrently — warm, then query. A zero-worker pool
+  /// degenerates to the serial batch order; results are identical at any
+  /// thread count.
   void warm_rows(util::ThreadPool& pool,
                  const std::vector<topo::NodeId>& sources) const;
 
@@ -168,8 +191,10 @@ class SelectionContext {
 
   const remos::NetworkSnapshot* snap_;
   mutable std::uint64_t epoch_;
+  util::ThreadPool* pool_ = nullptr;
   mutable int acyclic_ = -1;  // tri-state: unknown / no / yes
   mutable std::unique_ptr<topo::CsrAdjacency> csr_;
+  mutable std::unique_ptr<topo::FlatGraph> flat_;
   mutable std::vector<double> bw_;
   mutable std::vector<double> bwfactor_;
   mutable std::vector<topo::LinkId> by_bw_;

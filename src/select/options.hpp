@@ -55,6 +55,13 @@ struct SelectionOptions {
   /// can compare pruned vs unpruned runs.
   bool prune_dominated = true;
 
+  /// Eligible-candidate count below which prune_dominated short-circuits
+  /// (returns the eligibility mask unchanged — trivially winner-preserving):
+  /// small selections finish in well under a millisecond, so the prune
+  /// pass's own O(V + E) grouping cannot pay for itself there. 0 always
+  /// prunes (the unit-test mode).
+  int prune_min_candidates = 512;
+
   /// Ablation: compute the Fig.-3 bandwidth term over only the links on
   /// paths between the chosen nodes (a Steiner restriction) instead of all
   /// links of the surviving component as the paper specifies.

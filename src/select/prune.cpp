@@ -19,6 +19,7 @@ obs::Counter& dropped_counter() {
 /// O(k^2) work on a 10k-host star.
 constexpr std::size_t kMaxGroupSize = 4096;
 
+
 struct GroupEntry {
   topo::NodeId node;
   topo::LinkId link;
@@ -45,11 +46,45 @@ std::vector<char> dominated_candidate_mask(const remos::NetworkSnapshot& snap,
                                            const std::vector<char>& eligible) {
   std::vector<char> cand = eligible;
   if (!opt.prune_dominated || opt.num_nodes < 2) return cand;
+  // Candidate-count short-circuit: below the threshold the selection is
+  // already sub-millisecond, so even a perfect prune cannot pay for its own
+  // O(V + E) grouping pass (BENCH_scale.json showed pruned cold 3x *slower*
+  // than unpruned on the 567-node fat-tree). Nothing is dropped, so the
+  // winner is trivially preserved.
+  if (opt.prune_min_candidates > 0) {
+    std::size_t eligible_count = 0;
+    for (char e : eligible) eligible_count += e ? 1 : 0;
+    if (eligible_count < static_cast<std::size_t>(opt.prune_min_candidates))
+      return cand;
+  }
   const auto& g = snap.graph();
   const auto m = static_cast<std::size_t>(opt.num_nodes);
+  const std::size_t V = g.node_count();
 
-  // Bucket eligible degree-1 hosts by their attachment node.
-  std::vector<std::vector<GroupEntry>> groups(g.node_count());
+  // Bucket eligible degree-1 hosts by their attachment node — flat
+  // count/prefix/fill grouping (one contiguous entry array, reusable-free),
+  // not a vector-of-vectors: the per-node allocation churn of the latter
+  // dominated the whole prune pass at datacenter sizes.
+  std::vector<std::int32_t> head(V + 1, 0);
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (!eligible[i]) continue;
+    auto n = static_cast<topo::NodeId>(i);
+    auto links = g.links_of(n);
+    if (links.size() != 1) continue;
+    ++head[static_cast<std::size_t>(g.other_end(links[0], n)) + 1];
+  }
+  // Dominance needs > m same-anchor rivals; if no anchor has any (the
+  // common fat-tree case once m reaches the per-switch host count), skip
+  // the bw/frac/cpu key lookups entirely — they are the expensive part.
+  bool any_prunable = false;
+  for (std::size_t a = 1; a <= V && !any_prunable; ++a) {
+    const auto sz = static_cast<std::size_t>(head[a]);
+    any_prunable = sz > m && sz <= kMaxGroupSize;
+  }
+  if (!any_prunable) return cand;
+  for (std::size_t a = 0; a < V; ++a) head[a + 1] += head[a];
+  std::vector<GroupEntry> entries(static_cast<std::size_t>(head[V]));
+  std::vector<std::int32_t> cursor(head.begin(), head.end() - 1);
   for (std::size_t i = 0; i < eligible.size(); ++i) {
     if (!eligible[i]) continue;
     auto n = static_cast<topo::NodeId>(i);
@@ -61,24 +96,29 @@ std::vector<char> dominated_candidate_mask(const remos::NetworkSnapshot& snap,
     e.bw = snap.bw(e.link);
     e.frac = link_fraction(snap, e.link, opt);
     e.cpu = node_cpu(snap, n, opt);
-    groups[static_cast<std::size_t>(g.other_end(e.link, n))].push_back(e);
+    const auto anchor = static_cast<std::size_t>(g.other_end(e.link, n));
+    entries[static_cast<std::size_t>(cursor[anchor]++)] = e;
   }
 
   std::uint64_t dropped = 0;
   std::vector<GroupEntry> ranked;
-  for (auto& group : groups) {
-    if (group.size() <= m || group.size() > kMaxGroupSize) continue;
+  for (std::size_t a = 0; a < V; ++a) {
+    const auto lo = static_cast<std::size_t>(head[a]);
+    const auto hi = static_cast<std::size_t>(head[a + 1]);
+    const std::size_t size = hi - lo;
+    if (size <= m || size > kMaxGroupSize) continue;
     // Rank the group once; only rank-better entries can dominate, so each
     // node scans its prefix and stops at m dominators.
-    ranked = group;
+    ranked.assign(entries.begin() + static_cast<std::ptrdiff_t>(lo),
+                  entries.begin() + static_cast<std::ptrdiff_t>(hi));
     std::sort(ranked.begin(), ranked.end(), rank_before);
     for (std::size_t r = m; r < ranked.size(); ++r) {
       const GroupEntry& b = ranked[r];
       std::size_t dominators = 0;
       for (std::size_t q = 0; q < r && dominators < m; ++q) {
-        const GroupEntry& a = ranked[q];
-        if (outlives(a.bw, a.link, b.bw, b.link) &&
-            outlives(a.frac, a.link, b.frac, b.link))
+        const GroupEntry& a2 = ranked[q];
+        if (outlives(a2.bw, a2.link, b.bw, b.link) &&
+            outlives(a2.frac, a2.link, b.frac, b.link))
           ++dominators;
       }
       if (dominators >= m) {

@@ -80,6 +80,107 @@ FatTreeOptions fat_tree_for_hosts(int hosts, int switch_ports,
   return opt;
 }
 
+TopologyGraph three_level_fat_tree(const ThreeLevelFatTreeOptions& opt) {
+  if (opt.pods < 1 || opt.edge_per_pod < 1 || opt.hosts_per_edge < 1 ||
+      opt.agg_per_pod < 1)
+    throw std::invalid_argument("three_level_fat_tree: counts must be >= 1");
+  if (opt.host_bw <= 0.0 || opt.uplink_bw <= 0.0 || opt.core_bw <= 0.0)
+    throw std::invalid_argument(
+        "three_level_fat_tree: bandwidths must be > 0");
+  if (opt.cpu_jitter < 0.0 || opt.cpu_jitter >= 1.0)
+    throw std::invalid_argument(
+        "three_level_fat_tree: cpu_jitter must be in [0, 1)");
+  if (opt.host_latency < 0.0 || opt.uplink_latency < 0.0 ||
+      opt.core_latency < 0.0)
+    throw std::invalid_argument(
+        "three_level_fat_tree: latencies must be >= 0");
+  util::Rng rng(opt.seed);
+  TopologyGraph g;
+  const int u = opt.agg_per_pod;
+  std::vector<NodeId> cores;
+  cores.reserve(static_cast<std::size_t>(u) * static_cast<std::size_t>(u));
+  for (int c = 0; c < u * u; ++c)
+    cores.push_back(g.add_network("core" + std::to_string(c)));
+  std::vector<NodeId> aggs(static_cast<std::size_t>(u));
+  for (int p = 0; p < opt.pods; ++p) {
+    const std::string pod = "p" + std::to_string(p);
+    for (int j = 0; j < u; ++j) {
+      NodeId agg = g.add_network(pod + "-agg" + std::to_string(j));
+      // Plane j: this agg position uplinks to core group j in every pod.
+      for (int k = 0; k < u; ++k) {
+        TopologyGraph::LinkSpec spec;
+        spec.capacity_ab = opt.core_bw;
+        spec.latency = opt.core_latency;
+        g.add_link(agg, cores[static_cast<std::size_t>(j * u + k)],
+                   std::move(spec));
+      }
+      aggs[static_cast<std::size_t>(j)] = agg;
+    }
+    for (int e = 0; e < opt.edge_per_pod; ++e) {
+      NodeId sw = g.add_network(pod + "-edge" + std::to_string(e));
+      for (int j = 0; j < u; ++j) {
+        TopologyGraph::LinkSpec spec;
+        spec.capacity_ab = opt.uplink_bw;
+        spec.latency = opt.uplink_latency;
+        g.add_link(sw, aggs[static_cast<std::size_t>(j)], std::move(spec));
+      }
+      for (int h = 0; h < opt.hosts_per_edge; ++h) {
+        double capacity = 1.0;
+        if (opt.cpu_jitter > 0.0)
+          capacity = rng.uniform(1.0 - opt.cpu_jitter, 1.0 + opt.cpu_jitter);
+        NodeId host =
+            g.add_compute(pod + "-e" + std::to_string(e) + "-h" +
+                              std::to_string(h),
+                          capacity);
+        if (opt.memory_bytes > 0.0) g.set_memory(host, opt.memory_bytes);
+        TopologyGraph::LinkSpec spec;
+        spec.capacity_ab = opt.host_bw;
+        spec.latency = opt.host_latency;
+        g.add_link(sw, host, std::move(spec));
+      }
+    }
+  }
+  g.validate();
+  return g;
+}
+
+ThreeLevelFatTreeOptions three_level_fat_tree_for_hosts(
+    long long hosts, int switch_ports, double oversubscription,
+    int director_ports, std::uint64_t seed) {
+  if (hosts < 1)
+    throw std::invalid_argument("three_level_fat_tree_for_hosts: hosts < 1");
+  if (switch_ports < 2)
+    throw std::invalid_argument(
+        "three_level_fat_tree_for_hosts: need >= 2 ports");
+  if (oversubscription <= 0.0)
+    throw std::invalid_argument(
+        "three_level_fat_tree_for_hosts: oversubscription must be > 0");
+  if (director_ports < 1)
+    throw std::invalid_argument(
+        "three_level_fat_tree_for_hosts: director_ports < 1");
+  int down = static_cast<int>(std::lround(
+      static_cast<double>(switch_ports) * oversubscription /
+      (oversubscription + 1.0)));
+  if (down < 1) down = 1;
+  if (down > switch_ports - 1) down = switch_ports - 1;
+  ThreeLevelFatTreeOptions opt;
+  opt.hosts_per_edge = down;
+  opt.agg_per_pod = switch_ports - down;
+  // A pod's aggregation switches fan their downlink ports across the pod's
+  // edge switches, so a pod holds d edge switches = d^2 hosts.
+  opt.edge_per_pod = down;
+  const long long hosts_per_pod =
+      static_cast<long long>(down) * static_cast<long long>(down);
+  const long long pods = (hosts + hosts_per_pod - 1) / hosts_per_pod;
+  if (pods > static_cast<long long>(director_ports))
+    throw std::invalid_argument(
+        "three_level_fat_tree_for_hosts: pod count exceeds director ports — "
+        "use more switch ports or higher oversubscription");
+  opt.pods = static_cast<int>(pods);
+  opt.seed = seed;
+  return opt;
+}
+
 TopologyGraph campus_wan(const CampusWanOptions& opt) {
   if (opt.campuses < 1 || opt.buildings_per_campus < 1 ||
       opt.hosts_per_building < 1)

@@ -64,10 +64,58 @@ TopologyGraph fat_tree(const FatTreeOptions& opt = {});
 /// from `switch_ports`-port edge switches at the given oversubscription
 /// ratio (downlink : uplink port count; 1 = non-blocking). Downlinks
 /// d = round(ports * r / (r + 1)), uplinks (= core switches) = ports - d,
-/// edge switches = ceil(hosts / d).
+/// edge switches = ceil(hosts / d). Past ~100k hosts the implied core radix
+/// (= edge switch count) leaves real switch territory — size a three-level
+/// tree instead (three_level_fat_tree_for_hosts).
 FatTreeOptions fat_tree_for_hosts(int hosts, int switch_ports,
                                   double oversubscription,
                                   std::uint64_t seed = 1);
+
+/// Three-level (pod-based) fat-tree, the shape two-level port counts cannot
+/// reach: pods of edge switches under per-pod aggregation switches, pods
+/// joined by a director-class core. Aggregation plane j (the j-th agg
+/// switch of every pod) uplinks to its own group of agg_per_pod core
+/// switches, so core count = agg_per_pod^2 and each core's radix equals the
+/// pod count — the director-port budget that bounds the design.
+struct ThreeLevelFatTreeOptions {
+  int pods = 2;
+  /// Edge switches per pod; hosts attach here.
+  int edge_per_pod = 2;
+  /// Hosts per edge switch (edge downlink ports).
+  int hosts_per_edge = 4;
+  /// Aggregation switches per pod (= edge uplink ports = core group size).
+  int agg_per_pod = 2;
+  double host_bw = k100Mbps;
+  /// Edge -> aggregation uplink bandwidth.
+  double uplink_bw = kGbps;
+  /// Aggregation -> core trunk bandwidth.
+  double core_bw = 4 * kGbps;
+  double host_latency = 5e-6;
+  double uplink_latency = 10e-6;
+  double core_latency = 15e-6;
+  /// Host cpu capacities are drawn uniformly from
+  /// [1 - cpu_jitter, 1 + cpu_jitter] (0 = homogeneous hosts).
+  double cpu_jitter = 0.0;
+  double memory_bytes = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Build the three-level fat-tree. Node order: the agg_per_pod^2 core
+/// switches, then per pod its aggregation switches followed by, per edge
+/// switch, the switch and its hosts. Total nodes = agg_per_pod^2 +
+/// pods * (agg_per_pod + edge_per_pod * (1 + hosts_per_edge)).
+TopologyGraph three_level_fat_tree(const ThreeLevelFatTreeOptions& opt = {});
+
+/// Size a three-level tree for at least `hosts` hosts: the same
+/// downlink/uplink port split as fat_tree_for_hosts gives d hosts per edge
+/// and u = ports - d aggregation switches per pod; a pod holds d edge
+/// switches (the agg downlink radix), i.e. d^2 hosts, and the pod count —
+/// each pod consuming one port on every core — must fit `director_ports`
+/// (director-class core switches; throws when even they cannot reach
+/// `hosts`). Reaches 1,000,000 hosts from 48-port switches at 3:1.
+ThreeLevelFatTreeOptions three_level_fat_tree_for_hosts(
+    long long hosts, int switch_ports, double oversubscription,
+    int director_ports = 1024, std::uint64_t seed = 1);
 
 struct CampusWanOptions {
   int campuses = 3;

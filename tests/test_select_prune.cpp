@@ -93,6 +93,12 @@ std::vector<std::pair<std::string, SelectionOptions>> option_variants() {
   opt = {};
   opt.exhaustive_balanced = true;
   out.emplace_back("exhaustive", opt);
+  // The <= 64-node instances sit under the default candidate-count
+  // short-circuit; this variant forces the prune pass so the oracle still
+  // compares *actual* pruning against the naive references.
+  opt = {};
+  opt.prune_min_candidates = 0;
+  out.emplace_back("always_prune", opt);
   return out;
 }
 
@@ -193,6 +199,7 @@ TEST(DominatedMask, DropsAllButTopMOfADominatedLeafGroup) {
   }
   SelectionOptions opt;
   opt.num_nodes = 2;
+  opt.prune_min_candidates = 0;  // the star is far below the default cutoff
   auto elig = eligible_mask(snap, opt);
   auto cand = dominated_candidate_mask(snap, opt, elig);
   EXPECT_TRUE(cand[static_cast<std::size_t>(s.hosts[0])]);
@@ -207,6 +214,14 @@ TEST(DominatedMask, DropsAllButTopMOfADominatedLeafGroup) {
   EXPECT_EQ(dominated_candidate_mask(snap, opt, elig), elig);
   opt.num_nodes = 2;
   opt.prune_dominated = false;
+  EXPECT_EQ(dominated_candidate_mask(snap, opt, elig), elig);
+
+  // Under the default candidate-count threshold this small star
+  // short-circuits: the mask comes back unchanged even though hosts are
+  // dominated (the regression fix for pruned-slower-than-unpruned cold runs
+  // at small sizes).
+  opt.prune_dominated = true;
+  opt.prune_min_candidates = 512;
   EXPECT_EQ(dominated_candidate_mask(snap, opt, elig), elig);
 }
 
