@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_service.json: build Release, run the placement-service
+# scheduler loop on the 10k-host fat-tree (open-loop Poisson arrivals of the
+# appsim paper mix through the admit -> queue -> place -> release state
+# machine, pooled and serial in one process), and write the perf record to
+# the repo root. The record carries the headline contract — the pooled and
+# serial runs bit-identical, with sustained placements/sec and p50/p99
+# placement latency — plus job outcomes and the per-tenant degradation
+# table. The metrics document and Chrome trace land next to it
+# (metrics_service.json, trace_service.json — load the latter in Perfetto).
+#
+# Usage: scripts/bench_service_json.sh [jobs]
+#   jobs  arrivals submitted to the scheduler (default 300)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-300}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$(nproc)" --target bench_service >/dev/null
+./build/bench/bench_service "$JOBS" 4242 \
+  --bench-json BENCH_service.json \
+  --metrics-json metrics_service.json --chrome-trace trace_service.json
+python3 scripts/check_metrics_json.py --profile service \
+  metrics_service.json trace_service.json
+cat BENCH_service.json

@@ -10,6 +10,11 @@ Profiles pick the required metric set for the producing benchmark:
                     experiment harness, hence no sim.*/exp.* counters)
   churn             delta-stream runs: bench_churn (adds the incremental
                     invalidation counters and the CSR patch histogram)
+  service           scheduler-loop runs: bench_service (adds the sched.*
+                    state-machine counters, the placement-latency and
+                    queue-wait histograms, and requires the 10k-host
+                    candidate-set histogram to stay out of its overflow
+                    bucket)
 
 Exits non-zero with a message on the first violation. Used by CI after the
 bench smoke runs, and by scripts/bench_table1_json.sh /
@@ -87,6 +92,41 @@ PROFILES = {
             "select.latency_s.balanced",
         ],
     },
+    "service": {
+        "counters": [
+            "sched.jobs.submitted",
+            "sched.jobs.admitted",
+            "sched.jobs.rejected",
+            "sched.jobs.timeout",
+            "sched.jobs.placed",
+            "sched.jobs.completed",
+            "sched.place.conflicts",
+            "sched.place.infeasible",
+            "sched.rebalance.attempts",
+            "sched.rebalance.migrations",
+            "sched.ladder.full",
+            "sched.ladder.smoothed",
+            "sched.ladder.prior",
+            "api.reselect.calls",
+            "api.reselect.migrations",
+            "api.degradation.full",
+            "api.degradation.smoothed",
+            "api.degradation.prior",
+            "select.ctx.row_hits",
+            "select.ctx.row_misses",
+            "select.selections",
+        ],
+        "histograms": [
+            "sched.placement_latency_s",
+            "sched.queue_wait_s",
+            "api.candidate_set_size",
+            "select.latency_s.balanced",
+        ],
+        "gauges": [
+            "sched.queue.depth",
+            "sched.jobs.running",
+        ],
+    },
 }
 
 
@@ -132,6 +172,21 @@ def check_metrics(path, profile):
             fail(
                 f"{path}: histogram {name!r}: count={h.get('count')} "
                 f"!= sum(counts)={sum(counts)}"
+            )
+
+    if profile == "service":
+        # The candidate-set histogram's exponential buckets (2 .. 2^20) must
+        # cover the 10k-host profile: a populated overflow bucket means the
+        # bounds regressed (the old linear buckets topped out at 32).
+        h = hists.get("api.candidate_set_size", {})
+        counts = h.get("counts") or [0]
+        if h.get("count", 0) == 0:
+            fail(f"{path}: api.candidate_set_size recorded no observations")
+        if counts[-1] != 0:
+            fail(
+                f"{path}: api.candidate_set_size overflowed its bucket "
+                f"bounds ({counts[-1]} observations past "
+                f"{h.get('bounds', [0])[-1]})"
             )
 
     gauge_names = PROFILES[profile].get("gauges", [])

@@ -83,6 +83,10 @@ ReselectResult reselect(const select::SelectionContext& ctx,
       select::select_nodes(opt.criterion, ctx, sopt);
   if (!best.feasible) {
     res.nodes = current;
+    res.kept_current = true;
+    // The kept placement is what keeps running; score it so callers can
+    // still see its quality (0 only when a member left the topology).
+    res.objective_after = res.objective_before;
     res.note = "reselect: unconstrained selection infeasible, keeping "
                "current placement (" + best.note + ")";
     return res;
@@ -123,6 +127,8 @@ ReselectResult reselect(const select::SelectionContext& ctx,
     }
     if (chosen.size() < m) {
       res.nodes = current;
+      res.kept_current = true;
+      res.objective_after = res.objective_before;
       res.note = "reselect: cannot refill forced replacements, keeping "
                  "current placement";
       return res;

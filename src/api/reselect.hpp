@@ -43,6 +43,14 @@ struct ReselectOptions {
 
 struct ReselectResult {
   bool feasible = false;
+  /// Early-exit signal: re-selection could not run (unconstrained selection
+  /// infeasible, or forced replacements could not be refilled) and `nodes`
+  /// is the *unchanged current placement*, still in force. Distinguishes
+  /// "kept a valid placement" (kept_current, objective_after scores the
+  /// kept set) from a placement that was actually re-solved (feasible).
+  /// A scheduler's release/rebalance path keeps the job where it runs when
+  /// this is set instead of treating the decision as a failure.
+  bool kept_current = false;
   /// The new placement (ascending node ids).
   std::vector<topo::NodeId> nodes;
   /// nodes \ current and current \ nodes (ascending).
@@ -51,7 +59,10 @@ struct ReselectResult {
   int migrations = 0;
   /// Criterion score (evaluate_set-based) of the current set, the returned
   /// set, and the unconstrained optimum — the quality-vs-migration
-  /// trade-off in one record.
+  /// trade-off in one record. On a kept_current exit objective_after equals
+  /// objective_before (the kept set is the returned set); it is 0 only when
+  /// that set is genuinely unevaluable (a member was removed from the
+  /// topology).
   double objective_before = 0.0;
   double objective_after = 0.0;
   double objective_unbounded = 0.0;

@@ -38,8 +38,11 @@ ServiceMetrics& service_metrics() {
       obs::Registry::global().counter("api.degradation.full"),
       obs::Registry::global().counter("api.degradation.smoothed"),
       obs::Registry::global().counter("api.degradation.prior"),
+      // Exponential: candidate sets range from a handful of pinned hosts to
+      // every host of a ~1M-host fabric; 2, 4, ..., 2^20 covers the largest
+      // generated topology without dumping everything in the overflow bucket.
       obs::Registry::global().histogram("api.candidate_set_size",
-                                        obs::linear_buckets(2.0, 2.0, 16)),
+                                        obs::exp_buckets(2.0, 2.0, 20)),
   };
   return m;
 }
@@ -218,8 +221,15 @@ Placement NodeSelectionService::place(const AppSpec& spec,
     placement.groups[ci].candidates = mask_count(cso.client_eligible);
     if (span.active()) span.arg("criterion", placement.criterion);
     if (!r.feasible) {
-      placement.note = r.note;
-      placement.groups[ci].note = r.note;
+      // Same shape as the generic multi-group path: every group that could
+      // not be placed carries the algorithm note, and the top-level note
+      // names the groups. Server and client selection are one joint
+      // decision here, so both groups failed together.
+      const std::string why = r.note.empty() ? "infeasible" : r.note;
+      placement.groups[si].note = why;
+      placement.groups[ci].note = why;
+      placement.note = "group '" + spec.groups[si].name + "' + '" +
+                       spec.groups[ci].name + "': " + why;
       metrics.placements_infeasible.inc();
       if (span.active()) span.arg("feasible", "false");
       return placement;
@@ -316,18 +326,28 @@ Placement NodeSelectionService::place(const AppSpec& spec,
 }
 
 select::SelectionResult NodeSelectionService::select(
-    int m, select::Criterion c, const remos::QueryOptions& q) const {
+    int m, select::Criterion c, const ServiceOptions& opt) const {
   DegradationLevel level = DegradationLevel::Full;
   remos::QueryQuality quality;
-  auto snap = degraded_snapshot(q, DegradationPolicy{}, level, quality);
+  auto snap = degraded_snapshot(opt.query, opt.degradation, level, quality);
   select::SelectionOptions sel;
   sel.num_nodes = m;
-  auto result = select::select_nodes(c, snap, sel);
+  // The same context path every other entry point takes (place, reselect):
+  // cached deletion orders and bottleneck rows, bit-identical results.
+  select::SelectionContext ctx(snap);
+  auto result = select::select_nodes(c, ctx, sel);
   if (level != DegradationLevel::Full) {
     if (!result.note.empty()) result.note += "; ";
     result.note += std::string("degraded: ") + degradation_level_name(level);
   }
   return result;
+}
+
+select::SelectionResult NodeSelectionService::select(
+    int m, select::Criterion c, const remos::QueryOptions& q) const {
+  ServiceOptions opt;
+  opt.query = q;
+  return select(m, c, opt);
 }
 
 ReselectResult NodeSelectionService::reselect(

@@ -60,11 +60,16 @@ class NodeSelectionService {
   /// decision and measurement coverage are recorded on the Placement.
   Placement place(const AppSpec& spec, const ServiceOptions& opt = {}) const;
 
-  /// Single-group convenience: select m nodes for a pattern. Applies the
-  /// same degradation ladder; a degraded selection is annotated in the
-  /// result note.
+  /// Single-group convenience: select m nodes for a pattern. Honours the
+  /// caller's ServiceOptions (degradation policy and query, like place())
+  /// and runs through the shared SelectionContext path; a degraded
+  /// selection is annotated in the result note. The explicit criterion
+  /// argument wins over opt.criterion.
   select::SelectionResult select(int m, select::Criterion c,
-                                 const remos::QueryOptions& q = {}) const;
+                                 const ServiceOptions& opt = {}) const;
+  /// Back-compatible form: a bare query under the default policy.
+  select::SelectionResult select(int m, select::Criterion c,
+                                 const remos::QueryOptions& q) const;
 
   /// Churn-aware bounded re-placement (api/reselect.hpp) of a running
   /// application's node set, against the degradation ladder's snapshot:

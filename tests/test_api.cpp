@@ -3,6 +3,8 @@
 #include <set>
 
 #include "api/service.hpp"
+#include "obs/metrics.hpp"
+#include "select/context.hpp"
 #include "topo/generators.hpp"
 
 namespace netsel::api {
@@ -193,6 +195,114 @@ TEST_F(ApiFixture, InfeasiblePlacementExplainsItself) {
   EXPECT_EQ(placement.app, "huge");
   auto report = explain_report(placement, remos.topology());
   EXPECT_NE(report.find("infeasible"), std::string::npos) << report;
+}
+
+TEST_F(ApiFixture, ClientServerInfeasibleNotesBothGroups) {
+  // The pattern-aware client-server path decides both groups jointly; an
+  // infeasible outcome must explain itself on *both* group records and in
+  // the top-level note, like the generic multi-group path does.
+  warm();
+  NodeSelectionService svc(remos);
+  AppSpec spec;
+  spec.name = "cs";
+  spec.pattern = AppPattern::ClientServer;
+  NodeGroup server;
+  server.name = "backend";
+  server.count = 1;
+  server.allowed_hosts = {"no-such-host"};  // empty server candidate set
+  server.placement_priority = 5;
+  NodeGroup client;
+  client.name = "frontend";
+  client.count = 3;
+  spec.groups = {server, client};
+
+  obs::set_enabled(true);
+  const std::uint64_t before =
+      obs::Registry::global().counter("api.placements_infeasible").value();
+  auto placement = svc.place(spec);
+  const std::uint64_t after =
+      obs::Registry::global().counter("api.placements_infeasible").value();
+  obs::set_enabled(false);
+
+  ASSERT_FALSE(placement.feasible);
+  EXPECT_EQ(after, before + 1);
+  ASSERT_EQ(placement.groups.size(), 2u);
+  EXPECT_FALSE(placement.groups[0].note.empty());
+  EXPECT_EQ(placement.groups[0].note, placement.groups[1].note);
+  EXPECT_NE(placement.note.find("'backend'"), std::string::npos)
+      << placement.note;
+  EXPECT_NE(placement.note.find("'frontend'"), std::string::npos)
+      << placement.note;
+  EXPECT_NE(placement.note.find(placement.groups[0].note), std::string::npos)
+      << placement.note;
+}
+
+TEST_F(ApiFixture, MultiGroupPartialFailureKeepsEarlierGroupAndExplains) {
+  // Two groups by descending priority: the first places, the second cannot.
+  // The placement is infeasible overall but the successful group's nodes,
+  // the failed group's candidate count (testbed minus the taken nodes) and
+  // both notes must survive on the record.
+  warm();
+  NodeSelectionService svc(remos);
+  AppSpec spec;
+  spec.name = "partial";
+  spec.groups = {NodeGroup{"small", 4, {}, {}, 10},
+                 NodeGroup{"huge", 500, {}, {}, 0}};
+
+  obs::set_enabled(true);
+  const std::uint64_t before =
+      obs::Registry::global().counter("api.placements_infeasible").value();
+  auto placement = svc.place(spec);
+  const std::uint64_t after =
+      obs::Registry::global().counter("api.placements_infeasible").value();
+  obs::set_enabled(false);
+
+  ASSERT_FALSE(placement.feasible);
+  EXPECT_EQ(after, before + 1);
+  ASSERT_EQ(placement.groups.size(), 2u);
+  EXPECT_EQ(placement.groups[0].nodes.size(), 4u);
+  EXPECT_EQ(placement.group_nodes[0].size(), 4u);
+  const std::size_t total = net.topology().compute_nodes().size();
+  EXPECT_EQ(placement.groups[0].candidates, total);
+  EXPECT_EQ(placement.groups[1].candidates, total - 4);
+  EXPECT_TRUE(placement.groups[1].nodes.empty());
+  EXPECT_FALSE(placement.groups[1].note.empty());
+  EXPECT_EQ(placement.note.rfind("group 'huge': ", 0), 0u) << placement.note;
+}
+
+TEST_F(ApiFixture, SelectHonoursServiceOptionsAndContextPath) {
+  warm();
+  NodeSelectionService svc(remos);
+
+  // select() runs the same SelectionContext path as place()/reselect():
+  // bit-identical to a hand-built context over the ladder's snapshot.
+  auto via_service = svc.select(4, select::Criterion::Balanced);
+  DegradationLevel level = DegradationLevel::Full;
+  remos::QueryQuality quality;
+  auto snap = svc.degraded_snapshot({}, {}, level, quality);
+  select::SelectionContext ctx(snap);
+  select::SelectionOptions sel;
+  sel.num_nodes = 4;
+  auto direct = select::select_nodes(select::Criterion::Balanced, ctx, sel);
+  ASSERT_TRUE(via_service.feasible);
+  EXPECT_EQ(via_service.nodes, direct.nodes);
+  EXPECT_EQ(via_service.objective, direct.objective);
+
+  // The QueryOptions back-compat overload is the same query under the
+  // default policy.
+  auto compat = svc.select(4, select::Criterion::Balanced,
+                           remos::QueryOptions{});
+  EXPECT_EQ(compat.nodes, via_service.nodes);
+
+  // And the caller's degradation policy is honoured, not silently replaced
+  // with the default: a threshold above full coverage forces the Smoothed
+  // rung, annotated in the note.
+  ServiceOptions opt;
+  opt.degradation.smoothed_below = 1.1;
+  auto degraded = svc.select(4, select::Criterion::Balanced, opt);
+  ASSERT_TRUE(degraded.feasible);
+  EXPECT_NE(degraded.note.find("degraded: smoothed"), std::string::npos)
+      << degraded.note;
 }
 
 TEST_F(ApiFixture, SpecLevelRequirementsPropagate) {

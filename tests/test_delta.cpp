@@ -572,6 +572,42 @@ TEST(Reselect, IneligibleMembersAreReplacedDespiteZeroBudget) {
   EXPECT_EQ(res.migrated_out[0], victim);
 }
 
+TEST(Reselect, InfeasibleSelectionKeepsCurrentAndSaysSo) {
+  // When the unconstrained selection is infeasible the current placement
+  // stays in force: kept_current is the explicit signal, nodes are the
+  // unchanged current set, and objective_after scores that kept set (it
+  // must NOT report 0 — the job is still running there). The second
+  // early-exit (refill exhaustion) shares the same contract but is
+  // defensive: the optimum always has enough members to refill from.
+  auto inst = family_instance(2, 13);
+  select::SelectionContext ctx(*inst.snap);
+  auto hosts = present_computes(*inst.graph);
+  std::vector<topo::NodeId> current(hosts.begin(), hosts.begin() + 4);
+  std::sort(current.begin(), current.end());
+
+  api::ReselectOptions opt;
+  opt.max_migrations = 2;
+  // Impossible fixed requirement: no host is eligible, selection infeasible.
+  opt.selection.min_cpu_fraction = 2.0;
+  auto res = api::reselect(ctx, current, opt);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_TRUE(res.kept_current);
+  EXPECT_EQ(res.nodes, current);
+  EXPECT_EQ(res.migrations, 0);
+  EXPECT_TRUE(res.migrated_in.empty());
+  EXPECT_TRUE(res.migrated_out.empty());
+  EXPECT_GT(res.objective_before, 0.0);
+  EXPECT_DOUBLE_EQ(res.objective_after, res.objective_before);
+  EXPECT_NE(res.note.find("keeping"), std::string::npos) << res.note;
+
+  // A reselection that actually ran never reports kept_current.
+  api::ReselectOptions ok;
+  ok.max_migrations = 2;
+  auto solved = api::reselect(ctx, current, ok);
+  ASSERT_TRUE(solved.feasible);
+  EXPECT_FALSE(solved.kept_current);
+}
+
 TEST(Reselect, ScoreMatchesCriterion) {
   select::SetEvaluation ev;
   ev.connected = true;
