@@ -17,17 +17,28 @@
 //
 // Usage: bench_service [jobs] [seed] [--csv] [--check] [--threads N]
 //                      [--bench-json PATH] [--metrics-json PATH]
-//                      [--chrome-trace PATH]
+//                      [--chrome-trace PATH] [--timeseries-json PATH]
+//                      [--timeseries-csv PATH] [--job-trace PATH]
 // Defaults: 300 jobs, seed 4242, hardware threads.
 //   --check          CI smoke: a small fat-tree, serial vs 2-thread digest
 //                    equality, exclusive-allocation and exact-snapshot-
 //                    restore invariants, rebalance and timeout paths
-//                    exercised. Exits 2 on any violation.
+//                    exercised, plus the telemetry contracts: recorders
+//                    attached leave the state digest unchanged, and the
+//                    job-trace / time-series digests are identical at 1, 2
+//                    and 4 placement lanes. Dumps the flight-recorder tail
+//                    and exits 2 on any violation.
 //   --csv            append machine-readable per-tenant records.
 //   --bench-json P   write the perf record (placements/sec, latency
 //                    percentiles, job outcomes, ladder counts) to P.
 //   --metrics-json P enable the obs registry and write its JSON to P.
-//   --chrome-trace P enable the obs registry and write spans to P.
+//   --chrome-trace P enable the obs registry and write spans to P (with
+//                    time-series counter curves and per-job tracks merged
+//                    in when those recorders are active).
+//   --timeseries-json P  sample the pooled run on a sim-time cadence and
+//                    write the netsel-timeseries-v1 document to P.
+//   --timeseries-csv P   same samples as a CSV table.
+//   --job-trace P    record per-job causal traces and write JSONL to P.
 
 #include <algorithm>
 #include <chrono>
@@ -36,17 +47,23 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/jobtrace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "remos/snapshot.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workload.hpp"
 #include "topo/synthetic.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -58,14 +75,11 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample (q in [0, 1]).
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t i = static_cast<std::size_t>(pos);
-  if (i + 1 >= sorted.size()) return sorted.back();
-  const double frac = pos - static_cast<double>(i);
-  return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+/// q in [0, 1]; empty-tolerant front end for util::percentile (same linear
+/// interpolation every other bench uses).
+double percentile(const std::vector<double>& xs, double q) {
+  if (xs.empty()) return 0.0;
+  return util::percentile(xs, q * 100.0);
 }
 
 struct TenantRow {
@@ -103,8 +117,12 @@ sched::WorkloadConfig workload_config(std::uint64_t seed) {
 /// mri demands 0.8 coverage and falls all the way to the capacity prior.
 RunResult run_scheduler(const topo::TopologyGraph& g, std::uint64_t seed,
                         int jobs, util::ThreadPool* pool,
-                        sched::SchedulerConfig cfg) {
+                        sched::SchedulerConfig cfg,
+                        obs::TimeSeriesRecorder* ts = nullptr,
+                        obs::JobTraceRecorder* jt = nullptr) {
   cfg.pool = pool;
+  cfg.timeseries = ts;
+  cfg.job_trace = jt;
   sched::SchedulerService sched(g, cfg);
   remos::apply_synthetic_load(sched.snapshot(), seed + 7);
   {
@@ -192,9 +210,15 @@ int run_check(std::uint64_t seed) {
 
   // High arrival pressure on 128 hosts so the queue, the rejection path and
   // the conflict re-placement path all fire.
-  auto run_once = [&](util::ThreadPool* pool) {
+  auto run_once = [&](util::ThreadPool* pool,
+                      obs::TimeSeriesRecorder* ts = nullptr,
+                      obs::JobTraceRecorder* jt = nullptr,
+                      int lanes = 0) {
     sched::SchedulerConfig run_cfg = cfg;
     run_cfg.pool = pool;
+    run_cfg.timeseries = ts;
+    run_cfg.job_trace = jt;
+    if (lanes > 0) run_cfg.placement_lanes = lanes;
     sched::SchedulerService run(g, run_cfg);
     remos::apply_synthetic_load(run.snapshot(), seed + 7);
     sched::WorkloadConfig w = workload_config(seed);
@@ -235,6 +259,7 @@ int run_check(std::uint64_t seed) {
     return run.state_digest();
   };
 
+  const std::uint64_t flight_before = obs::FlightRecorder::global().recorded();
   const std::uint64_t serial_digest = run_once(nullptr);
   util::ThreadPool pool(2);
   const std::uint64_t pooled_digest = run_once(&pool);
@@ -244,6 +269,56 @@ int run_check(std::uint64_t seed) {
                  static_cast<unsigned long long>(serial_digest),
                  static_cast<unsigned long long>(pooled_digest));
     rc = 2;
+  }
+  if (obs::FlightRecorder::global().recorded() == flight_before) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: flight recorder captured no events over a "
+                 "full scheduler run\n");
+    rc = 2;
+  }
+
+  // Telemetry contracts: recorders attached must leave the state digest
+  // unchanged (they are pure outputs), and the job-trace / time-series
+  // digests must be identical at 1, 2 and 4 placement lanes — lane count
+  // partitions speculation but never changes a decision, a sim-time bound
+  // or a sample.
+  {
+    std::uint64_t trace_ref = 0, ts_ref = 0;
+    bool first = true;
+    for (int lanes : {1, 2, 4}) {
+      obs::TimeSeriesRecorder ts(1.0);
+      obs::JobTraceRecorder jt;
+      const std::uint64_t d = run_once(nullptr, &ts, &jt, lanes);
+      if (d != serial_digest) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: state digest with telemetry at %d lanes "
+                     "%016llx != recorder-off %016llx\n",
+                     lanes, static_cast<unsigned long long>(d),
+                     static_cast<unsigned long long>(serial_digest));
+        rc = 2;
+      }
+      if (jt.traces() == 0 || jt.spans() == 0 || ts.samples() < 2) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: telemetry run recorded %zu traces / %zu "
+                     "spans / %zu samples\n",
+                     jt.traces(), jt.spans(), ts.samples());
+        rc = 2;
+      }
+      if (first) {
+        trace_ref = jt.digest();
+        ts_ref = ts.digest();
+        first = false;
+      } else if (jt.digest() != trace_ref || ts.digest() != ts_ref) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: telemetry digests at %d lanes diverged "
+                     "(trace %016llx vs %016llx, ts %016llx vs %016llx)\n",
+                     lanes, static_cast<unsigned long long>(jt.digest()),
+                     static_cast<unsigned long long>(trace_ref),
+                     static_cast<unsigned long long>(ts.digest()),
+                     static_cast<unsigned long long>(ts_ref));
+        rc = 2;
+      }
+    }
   }
 
   // Degradation ladder: the same trace placed under collapsed coverage must
@@ -272,6 +347,10 @@ int run_check(std::uint64_t seed) {
     }
   }
 
+  if (rc != 0) {
+    std::fprintf(stderr, "post-mortem: flight-recorder tail\n");
+    obs::FlightRecorder::global().dump(std::cerr);
+  }
   std::fprintf(stderr, rc == 0 ? "check: OK\n" : "check: FAILED\n");
   return rc;
 }
@@ -358,29 +437,33 @@ int write_bench_json(const char* path, std::uint64_t seed, int jobs,
   return 0;
 }
 
-bool write_obs_exports(const char* metrics_path, const char* trace_path) {
+/// Write one telemetry artifact via `fn`; returns false on open failure.
+template <typename Fn>
+bool write_artifact(const char* path, Fn&& fn) {
+  if (!path) return true;
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  fn(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+  return true;
+}
+
+bool write_obs_exports(const char* metrics_path, const char* trace_path,
+                       const obs::TimeSeriesRecorder* ts,
+                       const obs::JobTraceRecorder* jt) {
   sched::register_scheduler_metrics();
-  bool ok = true;
-  if (metrics_path) {
-    std::ofstream f(metrics_path);
-    if (f) {
-      obs::write_json(obs::Registry::global(), f);
-      std::fprintf(stderr, "wrote %s\n", metrics_path);
-    } else {
-      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
-      ok = false;
-    }
-  }
-  if (trace_path) {
-    std::ofstream f(trace_path);
-    if (f) {
-      obs::write_chrome_trace(obs::Registry::global(), f);
-      std::fprintf(stderr, "wrote %s\n", trace_path);
-    } else {
-      std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
-      ok = false;
-    }
-  }
+  bool ok = write_artifact(metrics_path, [](std::ostream& f) {
+    obs::write_json(obs::Registry::global(), f);
+  });
+  ok = write_artifact(trace_path,
+                      [&](std::ostream& f) {
+                        obs::write_chrome_trace(obs::Registry::global(), f,
+                                                ts, jt);
+                      }) &&
+       ok;
   return ok;
 }
 
@@ -395,6 +478,9 @@ int main(int argc, char** argv) {
   const char* json_path = nullptr;
   const char* metrics_path = nullptr;
   const char* trace_path = nullptr;
+  const char* ts_json_path = nullptr;
+  const char* ts_csv_path = nullptr;
+  const char* job_trace_path = nullptr;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
@@ -409,6 +495,13 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeseries-json") == 0 &&
+               i + 1 < argc) {
+      ts_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeseries-csv") == 0 && i + 1 < argc) {
+      ts_csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--job-trace") == 0 && i + 1 < argc) {
+      job_trace_path = argv[++i];
     } else if (positional == 0) {
       jobs = std::atoi(argv[i]);
       ++positional;
@@ -441,10 +534,20 @@ int main(int argc, char** argv) {
   cfg.rebalance_on_release = true;
   cfg.rebalance_budget = 2;
 
+  // Time-series cadence: one sample per simulated second (the arrival rate
+  // is 2 jobs/s, so every sample integrates ~2 decisions). Recorders attach
+  // to the pooled (headline) run only; they are pure outputs, so the serial
+  // reference digest still has to match.
+  std::unique_ptr<obs::TimeSeriesRecorder> ts;
+  std::unique_ptr<obs::JobTraceRecorder> jt;
+  if (ts_json_path || ts_csv_path) ts = std::make_unique<obs::TimeSeriesRecorder>(1.0);
+  if (job_trace_path) jt = std::make_unique<obs::JobTraceRecorder>();
+
   util::ThreadPool pool(threads);
   std::fprintf(stderr, "bench_service: pooled run (%d workers)...\n",
                pool.workers());
-  const RunResult pooled = run_scheduler(g, seed, jobs, &pool, cfg);
+  const RunResult pooled =
+      run_scheduler(g, seed, jobs, &pool, cfg, ts.get(), jt.get());
   std::fprintf(stderr, "bench_service: serial reference run...\n");
   const RunResult serial = run_scheduler(g, seed, jobs, nullptr, cfg);
   const bool identical = pooled.digest == serial.digest;
@@ -504,7 +607,19 @@ int main(int argc, char** argv) {
                               identical);
     if (rc != 0) return rc;
   }
-  if (!write_obs_exports(metrics_path, trace_path)) return 1;
+  if (!write_obs_exports(metrics_path, trace_path, ts.get(), jt.get()))
+    return 1;
+  bool artifacts_ok = true;
+  if (ts) {
+    artifacts_ok &= write_artifact(
+        ts_json_path, [&](std::ostream& f) { ts->write_json(f); });
+    artifacts_ok &= write_artifact(
+        ts_csv_path, [&](std::ostream& f) { ts->write_csv(f); });
+  }
+  if (jt)
+    artifacts_ok &= write_artifact(
+        job_trace_path, [&](std::ostream& f) { jt->write_jsonl(f); });
+  if (!artifacts_ok) return 1;
   if (!identical) return 2;
   return st.placed > 0 ? 0 : 2;
 }

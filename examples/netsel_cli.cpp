@@ -7,6 +7,15 @@
 // Usage:
 //   netsel_cli --topology FILE --nodes M [options]
 //   netsel_cli --generate SPEC [--emit-topo | --nodes M [options]]
+//   netsel_cli obs [--jobs N] [--seed S] [--tail K]
+//              [--timeseries-json P] [--timeseries-csv P] [--job-trace P]
+//              [--chrome-trace P]
+//
+// The `obs` subcommand runs a small deterministic scheduler scenario on a
+// 128-host fat-tree with the full telemetry stack attached (time-series
+// recorder, per-job causal traces, flight recorder), prints a summary and
+// the flight-recorder tail, and optionally writes the artifacts — the
+// quickest way to see docs/OBSERVABILITY.md's formats without a bench run.
 //
 // Options:
 //   --generate SPEC              synthesise a topology instead of reading
@@ -38,12 +47,21 @@
 //              --bw suez--m-18=5Mbps --criterion balanced --dot
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/jobtrace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "remos/snapshot.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
 #include "select/algorithms.hpp"
 #include "select/latency.hpp"
 #include "select/objective.hpp"
@@ -123,9 +141,116 @@ topo::TopologyGraph generate_topology(const std::string& spec) {
   return g;
 }
 
+/// `netsel_cli obs`: run a deterministic scheduler scenario with the full
+/// telemetry stack attached, print a summary plus the flight-recorder tail,
+/// and optionally write the artifacts.
+int run_obs(int argc, char** argv) {
+  int jobs = 40;
+  std::uint64_t seed = 4242;
+  std::size_t tail = 16;
+  const char* ts_json = nullptr;
+  const char* ts_csv = nullptr;
+  const char* jt_path = nullptr;
+  const char* trace_path = nullptr;
+  auto next_arg = [&](int& i) -> const char* {
+    if (++i >= argc) die("missing value after " + std::string(argv[i - 1]));
+    return argv[i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    try {
+      if (std::strcmp(argv[i], "--jobs") == 0) {
+        jobs = std::stoi(next_arg(i));
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        seed = std::stoull(next_arg(i));
+      } else if (std::strcmp(argv[i], "--tail") == 0) {
+        tail = static_cast<std::size_t>(std::stoul(next_arg(i)));
+      } else if (std::strcmp(argv[i], "--timeseries-json") == 0) {
+        ts_json = next_arg(i);
+      } else if (std::strcmp(argv[i], "--timeseries-csv") == 0) {
+        ts_csv = next_arg(i);
+      } else if (std::strcmp(argv[i], "--job-trace") == 0) {
+        jt_path = next_arg(i);
+      } else if (std::strcmp(argv[i], "--chrome-trace") == 0) {
+        trace_path = next_arg(i);
+      } else {
+        die("obs: unknown option '" + std::string(argv[i]) + "'");
+      }
+    } catch (const std::exception& e) {
+      die("obs: bad argument for " + std::string(argv[i - 1]) + ": " +
+          e.what());
+    }
+  }
+  if (jobs < 1) die("obs: --jobs must be >= 1");
+
+  auto g = topo::fat_tree(topo::fat_tree_for_hosts(128, 16, 2.0, seed));
+  obs::TimeSeriesRecorder ts(1.0);
+  obs::JobTraceRecorder jt;
+
+  sched::SchedulerConfig cfg;
+  cfg.placement_lanes = 2;
+  cfg.backfill_window = 6;
+  cfg.schedule_interval = 1.0;
+  cfg.max_queue_depth = 24;
+  cfg.queue_timeout = 600.0;
+  cfg.rebalance_on_release = true;
+  cfg.rebalance_budget = 1;
+  cfg.timeseries = &ts;
+  cfg.job_trace = &jt;
+  sched::SchedulerService sched(g, cfg);
+  remos::apply_synthetic_load(sched.snapshot(), seed + 7);
+  sched::WorkloadConfig w;
+  w.arrival_rate = 2.0;
+  w.seed = seed;
+  sched::JobStream stream(w);
+  stream.feed(sched, jobs);
+  sched.drain();
+
+  const sched::SchedulerStats st = sched.stats();
+  std::printf(
+      "obs scenario: %d jobs on a %zu-node fat-tree, seed %llu\n"
+      "  placed %llu, completed %llu, rejected %llu, timed out %llu, "
+      "conflicts %llu\n"
+      "  state digest      %016llx\n"
+      "  time series       %zu series, %zu samples (cadence %.1fs, "
+      "%llu dropped), digest %016llx\n"
+      "  job traces        %zu traces, %zu spans, digest %016llx\n"
+      "  flight recorder   %llu events recorded (capacity %zu)\n\n",
+      jobs, g.node_count(), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(st.placed),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.timed_out),
+      static_cast<unsigned long long>(st.conflicts),
+      static_cast<unsigned long long>(sched.state_digest()), ts.series_count(),
+      ts.samples(), ts.cadence(),
+      static_cast<unsigned long long>(ts.dropped()),
+      static_cast<unsigned long long>(ts.digest()), jt.traces(), jt.spans(),
+      static_cast<unsigned long long>(jt.digest()),
+      static_cast<unsigned long long>(obs::FlightRecorder::global().recorded()),
+      obs::FlightRecorder::global().capacity());
+  std::printf("flight-recorder tail (last %zu):\n", tail);
+  obs::FlightRecorder::global().dump(std::cout, tail);
+
+  auto write_to = [&](const char* path, auto&& fn) {
+    if (!path) return;
+    std::ofstream f(path);
+    if (!f) die("obs: cannot open " + std::string(path) + " for writing");
+    fn(f);
+    std::fprintf(stderr, "wrote %s\n", path);
+  };
+  write_to(ts_json, [&](std::ostream& os) { ts.write_json(os); });
+  write_to(ts_csv, [&](std::ostream& os) { ts.write_csv(os); });
+  write_to(jt_path, [&](std::ostream& os) { jt.write_jsonl(os); });
+  write_to(trace_path, [&](std::ostream& os) {
+    obs::write_chrome_trace(obs::Registry::global(), os, &ts, &jt);
+  });
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "obs") == 0) return run_obs(argc, argv);
   std::string topology_path;
   std::string generate_spec;
   std::string criterion = "balanced";

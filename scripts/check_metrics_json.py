@@ -12,9 +12,15 @@ Profiles pick the required metric set for the producing benchmark:
                     invalidation counters and the CSR patch histogram)
   service           scheduler-loop runs: bench_service (adds the sched.*
                     state-machine counters, the placement-latency and
-                    queue-wait histograms, and requires the 10k-host
-                    candidate-set histogram to stay out of its overflow
-                    bucket)
+                    queue-wait histograms, the obs.ts.* / obs.trace.* /
+                    obs.flight.* telemetry mirrors, and requires the
+                    10k-host candidate-set histogram to stay out of its
+                    overflow bucket)
+  timeseries        the positional file is a netsel-timeseries-v1 document
+                    (bench_service --timeseries-json): validates monotone
+                    sim time, sample-count vs cadence consistency, and the
+                    counter delta-decode round trip (first + sum(deltas)
+                    == last, len(deltas) == samples - 1)
 
 Exits non-zero with a message on the first violation. Used by CI after the
 bench smoke runs, and by scripts/bench_table1_json.sh /
@@ -115,6 +121,11 @@ PROFILES = {
             "select.ctx.row_hits",
             "select.ctx.row_misses",
             "select.selections",
+            "obs.ts.samples",
+            "obs.ts.dropped",
+            "obs.trace.traces",
+            "obs.trace.spans",
+            "obs.flight.events",
         ],
         "histograms": [
             "sched.placement_latency_s",
@@ -125,9 +136,12 @@ PROFILES = {
         "gauges": [
             "sched.queue.depth",
             "sched.jobs.running",
+            "obs.ts.series",
         ],
     },
 }
+
+TS_SCHEMA = "netsel-timeseries-v1"
 
 
 def fail(msg):
@@ -209,6 +223,75 @@ def check_metrics(path, profile):
     )
 
 
+def check_timeseries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != TS_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {TS_SCHEMA!r}")
+    cadence = doc.get("cadence_s")
+    if not isinstance(cadence, (int, float)) or cadence <= 0:
+        fail(f"{path}: cadence_s missing or not positive")
+    samples = doc.get("samples")
+    dropped = doc.get("dropped")
+    if not isinstance(samples, int) or samples < 0:
+        fail(f"{path}: 'samples' missing or negative")
+    if not isinstance(dropped, int) or dropped < 0:
+        fail(f"{path}: 'dropped' missing or negative")
+    t_first, t_last = doc.get("t_first"), doc.get("t_last")
+    if samples == 0:
+        if doc.get("series"):
+            fail(f"{path}: zero samples but non-empty series")
+        print(f"check_metrics_json: {path}: OK (empty time series)")
+        return
+    # Sim time is monotone by construction: boundary i sits at i * cadence.
+    # With `dropped` rows evicted, the first retained row is boundary
+    # `dropped` and the last is boundary dropped + samples - 1.
+    tol = 1e-9 * max(1.0, abs(t_last or 0.0))
+    if abs(t_first - dropped * cadence) > tol:
+        fail(
+            f"{path}: t_first={t_first} inconsistent with "
+            f"dropped={dropped} * cadence={cadence}"
+        )
+    if abs(t_last - (t_first + (samples - 1) * cadence)) > tol:
+        fail(
+            f"{path}: t_last={t_last} != t_first + (samples-1)*cadence "
+            f"(monotone cadence grid violated)"
+        )
+    series = doc.get("series")
+    if not isinstance(series, dict) or not series:
+        fail(f"{path}: 'series' missing or empty despite {samples} samples")
+    for name, s in series.items():
+        kind = s.get("type")
+        if kind == "counter":
+            deltas = s.get("deltas")
+            if not isinstance(deltas, list) or len(deltas) != samples - 1:
+                fail(
+                    f"{path}: counter {name!r}: len(deltas)="
+                    f"{None if not isinstance(deltas, list) else len(deltas)} "
+                    f"!= samples-1={samples - 1}"
+                )
+            first, last = s.get("first"), s.get("last")
+            if first + sum(deltas) != last:
+                fail(
+                    f"{path}: counter {name!r}: delta decode "
+                    f"first+sum(deltas)={first + sum(deltas)} != last={last}"
+                )
+        elif kind == "gauge":
+            values = s.get("values")
+            if not isinstance(values, list) or len(values) != samples:
+                fail(
+                    f"{path}: gauge {name!r}: len(values)="
+                    f"{None if not isinstance(values, list) else len(values)} "
+                    f"!= samples={samples}"
+                )
+        else:
+            fail(f"{path}: series {name!r} has unknown type {kind!r}")
+    print(
+        f"check_metrics_json: {path}: OK "
+        f"({len(series)} series, {samples} samples, {dropped} dropped)"
+    )
+
+
 def check_trace(path):
     with open(path) as f:
         doc = json.load(f)
@@ -233,7 +316,7 @@ def main(argv):
     args = argv[1:]
     profile = "table1"
     if args and args[0] == "--profile":
-        if len(args) < 2 or args[1] not in PROFILES:
+        if len(args) < 2 or (args[1] not in PROFILES and args[1] != "timeseries"):
             print(__doc__, file=sys.stderr)
             return 2
         profile = args[1]
@@ -241,6 +324,11 @@ def main(argv):
     if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         return 2
+    if profile == "timeseries":
+        check_timeseries(args[0])
+        if len(args) == 2:
+            check_trace(args[1])
+        return 0
     check_metrics(args[0], profile)
     if len(args) == 2:
         check_trace(args[1])

@@ -1,5 +1,8 @@
 #include "obs/export.hpp"
 
+#include "obs/jobtrace.hpp"
+#include "obs/timeseries.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -154,7 +157,31 @@ std::string to_json(const Registry& r) {
   return os.str();
 }
 
+namespace {
+
+/// Emit the opening of the traceEvents array plus the registry's span
+/// events; callers append further comma-prefixed events and close the array.
+void write_chrome_trace_open(const Registry& r, std::ostream& os);
+
+}  // namespace
+
+void write_chrome_trace(const Registry& r, std::ostream& os,
+                        const TimeSeriesRecorder* ts,
+                        const JobTraceRecorder* jobs) {
+  write_chrome_trace_open(r, os);
+  if (ts) ts->write_chrome_counters(os);
+  if (jobs) jobs->write_chrome_events(os);
+  os << "\n]}\n";
+}
+
 void write_chrome_trace(const Registry& r, std::ostream& os) {
+  write_chrome_trace_open(r, os);
+  os << "\n]}\n";
+}
+
+namespace {
+
+void write_chrome_trace_open(const Registry& r, std::ostream& os) {
   os << "{\"traceEvents\":[\n"
         "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
         "\"args\":{\"name\":\"netsel\"}}";
@@ -175,8 +202,9 @@ void write_chrome_trace(const Registry& r, std::ostream& os) {
     }
     os << "}}";
   }
-  os << "\n]}\n";
 }
+
+}  // namespace
 
 std::string to_chrome_trace(const Registry& r) {
   std::ostringstream os;

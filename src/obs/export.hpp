@@ -39,4 +39,15 @@ std::string to_json(const Registry& r);
 void write_chrome_trace(const Registry& r, std::ostream& os);
 std::string to_chrome_trace(const Registry& r);
 
+class TimeSeriesRecorder;
+class JobTraceRecorder;
+
+/// As write_chrome_trace, with the time-dimension tracks merged into the
+/// same traceEvents array: the recorder's counter curves ("ph":"C", pid 2,
+/// sim-time axis) so Perfetto shows the service breathing, and the per-job
+/// span tracks (pid 3, one tid per job). Either pointer may be null.
+void write_chrome_trace(const Registry& r, std::ostream& os,
+                        const TimeSeriesRecorder* ts,
+                        const JobTraceRecorder* jobs);
+
 }  // namespace netsel::obs

@@ -1,0 +1,85 @@
+#pragma once
+// obs::JobTraceRecorder — per-job causal traces for the scheduler service.
+//
+// A trace is minted when a job is admitted (trace id == job id) and grows a
+// span tree stitched across the whole lifecycle: queue wait, each
+// speculative placement attempt, conflict re-placement, the commit, the
+// simulated run, rebalance migrations and the release. Spans carry exact
+// *simulated*-time bounds (wall-clock never enters a trace), so a seeded
+// run produces bit-identical traces at any thread or lane count — asserted
+// by digest(), which hashes the tree structure and sim-time bounds but
+// deliberately excludes args (lane attribution is reported for Perfetto but
+// depends on the configured lane count).
+//
+// The recorder is only written from the scheduler's serial event loop
+// (speculative lanes hand their decisions back before anything is
+// recorded), so it needs no locking; it is observational and never read by
+// the scheduler.
+//
+// Exports: a structured JSONL (one line per job: tenant, outcome, the span
+// tree with parent indices) and Chrome trace_event tracks (pid 3, one tid
+// per job) that Perfetto shows as one lane per job next to the service
+// spans and the time-series counter curves.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netsel::obs {
+
+struct JobSpan {
+  std::uint32_t parent = kNoParent;  ///< index within the same trace
+  std::string name;
+  double sim_begin = -1.0;
+  double sim_end = -1.0;  ///< -1 while open
+  /// Free-form annotations (lane, nodes, note, ...). Not digested.
+  std::vector<std::pair<std::string, std::string>> args;
+
+  static constexpr std::uint32_t kNoParent = 0xffffffffu;
+};
+
+class JobTraceRecorder {
+ public:
+  /// Open a new span under `parent` (JobSpan::kNoParent for the root).
+  /// Returns the span's index within the trace. The first begin() for a
+  /// trace id mints the trace.
+  std::uint32_t begin(std::uint64_t trace_id, std::uint32_t parent,
+                      std::string name, double sim_begin);
+  /// Close an open span at `sim_end` (>= its sim_begin).
+  void end(std::uint64_t trace_id, std::uint32_t span, double sim_end);
+  /// Convenience: a complete child span [sim_begin, sim_end].
+  std::uint32_t span(std::uint64_t trace_id, std::uint32_t parent,
+                     std::string name, double sim_begin, double sim_end);
+  void annotate(std::uint64_t trace_id, std::uint32_t span, std::string key,
+                std::string value);
+
+  std::size_t traces() const { return traces_.size(); }
+  std::size_t spans() const { return span_count_; }
+  bool has_trace(std::uint64_t trace_id) const {
+    return traces_.count(trace_id) != 0;
+  }
+  const std::vector<JobSpan>& trace(std::uint64_t trace_id) const;
+
+  /// FNV-1a over every trace id, span structure (parent links, names,
+  /// order) and sim-time bounds. Excludes args — see the header comment.
+  std::uint64_t digest() const;
+
+  /// One JSON object per line per trace:
+  ///   {"job":N,"spans":[{"id":0,"parent":-1,"name":...,
+  ///     "sim_begin":...,"sim_end":...,"args":{...}},...]}
+  void write_jsonl(std::ostream& os) const;
+  /// Chrome trace_event complete events on the sim-time axis (ts/dur in
+  /// sim-microseconds), pid 3, tid = job id, plus thread_name metadata per
+  /// job. Every event is preceded by a comma for splicing into an open
+  /// traceEvents array.
+  void write_chrome_events(std::ostream& os) const;
+
+ private:
+  std::map<std::uint64_t, std::vector<JobSpan>> traces_;
+  std::size_t span_count_ = 0;
+};
+
+}  // namespace netsel::obs

@@ -122,6 +122,48 @@ void Histogram::reset() {
              std::memory_order_relaxed);
 }
 
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             double min, double max, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank in [1, total]: the ceil'd nearest rank, interpolated within its
+  // bucket by how far into the bucket's count the (fractional) rank lands.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double lo_rank = static_cast<double>(cum);
+    cum += counts[b];
+    if (rank > static_cast<double>(cum)) continue;
+    // Bucket value range, tightened by the observed extremes: the first
+    // populated bucket cannot start below min, the overflow bucket (and
+    // every bucket) cannot end above max.
+    double lo = b == 0 ? min : bounds[b - 1];
+    double hi = b < bounds.size() ? bounds[b] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) hi = lo;
+    const double frac =
+        counts[b] == 0
+            ? 0.0
+            : std::min(1.0, std::max(0.0, (rank - lo_rank) /
+                                              static_cast<double>(counts[b])));
+    return lo + (hi - lo) * frac;
+  }
+  return max;
+}
+
+double Histogram::quantile(double q) const {
+  return quantile_from_buckets(bounds_, counts(), min(), max(), q);
+}
+
+double Registry::HistogramView::quantile(double q) const {
+  return quantile_from_buckets(bounds, counts, min, max, q);
+}
+
 std::vector<double> exp_buckets(double first, double factor, int n) {
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));

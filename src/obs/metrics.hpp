@@ -97,6 +97,10 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// counts()[i] pairs with bounds()[i]; the final entry is the overflow.
   std::vector<std::uint64_t> counts() const;
+  /// Bucket-based quantile estimate (q in [0, 1]) with linear interpolation
+  /// inside the rank's bucket, tightened by the recorded min/max at the
+  /// edges — the centralized p50/p99 every bench reports. 0 when empty.
+  double quantile(double q) const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   /// 0 when empty (keeps exports finite).
@@ -118,6 +122,15 @@ class Histogram {
 std::vector<double> exp_buckets(double first, double factor, int n);
 /// Linear bucket bounds: first, first+step, ... (n entries).
 std::vector<double> linear_buckets(double first, double step, int n);
+
+/// The shared quantile estimator behind Histogram::quantile and
+/// HistogramView::quantile: nearest-rank walk over the cumulative bucket
+/// counts, linear interpolation within the chosen bucket, with the first
+/// bucket's lower edge replaced by `min` and the overflow bucket capped at
+/// `max` (exact for distributions that never leave one bucket).
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             double min, double max, double q);
 
 // ---------------------------------------------------------------------------
 // Spans
@@ -165,6 +178,8 @@ class Registry {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    /// Bucket-based quantile estimate (see Histogram::quantile).
+    double quantile(double q) const;
   };
 
   /// Deterministic (name-sorted) value snapshots for the exporters.

@@ -1,0 +1,112 @@
+#pragma once
+// obs::TimeSeriesRecorder — bounded, delta-encoded time series sampled on a
+// simulated-time cadence, so point-in-time gauges (queue depth, jobs
+// running) and counters (placements, conflicts) become curves instead of
+// end-of-run values.
+//
+// The recorder is passive: it holds named sources (callbacks reading the
+// owner's state) and the owner's event loop drives it by calling
+// sample_until(sim_t) whenever simulated time advances. Because the owner's
+// state only changes at event instants, sampling a cadence boundary with
+// the carried-forward state between events is exact, and the whole series
+// is a pure function of the (deterministic) run — bit-identical across
+// thread counts like every other obs artifact.
+//
+// Storage is one bounded ring of sample rows shared by all series: counter
+// series store int64 deltas against the previous row (plus the value at the
+// first retained row), gauges store raw doubles. When the ring is full the
+// oldest row is evicted from every series at once — first/last values and
+// the retained time range stay exact, only history is shortened (mirrored
+// in the obs.ts.dropped counter).
+//
+// Exports: a deterministic JSON document (schema netsel-timeseries-v1 —
+// scripts/check_metrics_json.py --profile timeseries validates monotone
+// time, sample-count/cadence consistency and the delta-decode round trip),
+// a CSV table (t plus one column per series), and Chrome trace_event
+// counter samples ("ph":"C") on the sim-time axis so Perfetto draws the
+// curves alongside the span tracks.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netsel::obs {
+
+inline constexpr const char* kTimeSeriesSchema = "netsel-timeseries-v1";
+
+class TimeSeriesRecorder {
+ public:
+  using CounterFn = std::function<std::uint64_t()>;
+  using GaugeFn = std::function<double()>;
+
+  /// `cadence_s` is the simulated-time sampling period (> 0); `capacity`
+  /// bounds the retained rows (>= 2).
+  explicit TimeSeriesRecorder(double cadence_s, std::size_t capacity = 4096);
+
+  /// Register sources before the first sample_until call. Names should be
+  /// metric-style dotted paths (they become JSON keys and CSV headers).
+  void add_counter(std::string name, CounterFn fn);
+  void add_gauge(std::string name, GaugeFn fn);
+
+  /// Emit a sample row for every pending cadence boundary b = i * cadence
+  /// with b <= sim_t (strictly < when `inclusive` is false), reading every
+  /// source at emit time. The owner calls this (a) just before processing
+  /// an event instant with inclusive=false — boundaries strictly before the
+  /// instant carry the unchanged state forward — and (b) after the loop
+  /// with inclusive=true, so a boundary coinciding with an event instant
+  /// reflects the post-event state.
+  void sample_until(double sim_t, bool inclusive = true);
+
+  double cadence() const { return cadence_; }
+  /// Rows currently retained / ever emitted / evicted by the ring bound.
+  std::size_t samples() const { return rows_; }
+  std::uint64_t total_samples() const { return total_rows_; }
+  std::uint64_t dropped() const { return total_rows_ - rows_; }
+  /// Sim time of the first retained / last emitted row (-1 when empty).
+  double t_first() const;
+  double t_last() const;
+  std::size_t series_count() const { return series_.size(); }
+
+  /// Decoded values of one series, first retained row first.
+  std::vector<double> values(const std::string& name) const;
+
+  /// FNV-1a digest over names, the retained time range and every decoded
+  /// value — the cross-thread-count bit-identity probe.
+  std::uint64_t digest() const;
+
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  /// Chrome trace_event counter samples, one "ph":"C" event per row per
+  /// series, ts = sim-time in microseconds. Emits a leading comma before
+  /// every event so the caller can splice into an open traceEvents array.
+  void write_chrome_counters(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::string name;
+    bool is_counter = false;
+    CounterFn counter;
+    GaugeFn gauge;
+    /// Counter series: value at the first retained row, then one delta per
+    /// later row. Gauge series: raw values, one per row (`first` unused).
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+    std::deque<std::int64_t> deltas;
+    std::deque<double> raw;
+  };
+
+  void emit_row();
+  void evict_oldest_row();
+
+  double cadence_;
+  std::size_t capacity_;
+  std::vector<Series> series_;
+  std::uint64_t next_boundary_ = 0;  ///< index of the next row to emit
+  std::size_t rows_ = 0;
+  std::uint64_t total_rows_ = 0;
+};
+
+}  // namespace netsel::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace netsel::remos {
@@ -74,13 +75,21 @@ void Monitor::poll_once() {
   const auto& g = net_.topology();
 
   // Observability-only outage-edge tracking. Lazily sized so the no-fault
-  // path never allocates; updated only while the registry is enabled.
-  const bool track_outages = injector_ && obs::enabled();
+  // path never allocates. Always tracked when an injector is active (not
+  // gated on obs::enabled()): the flight recorder's post-mortem value is
+  // exactly the runs nobody instrumented. The registry counter itself still
+  // no-ops while disabled.
+  const bool track_outages = injector_ != nullptr;
   if (track_outages && obs_sensor_down_.empty())
     obs_sensor_down_.assign(g.node_count() + g.link_count() * 2, 0);
-  auto note_sensor = [this, track_outages](std::size_t sensor, bool down) {
+  auto note_sensor = [this, track_outages, now](std::size_t sensor,
+                                                bool down) {
     if (!track_outages) return;
-    if (down && !obs_sensor_down_[sensor]) outage_transitions_counter().inc();
+    if (down && !obs_sensor_down_[sensor]) {
+      outage_transitions_counter().inc();
+      obs::FlightRecorder::global().record(obs::FlightKind::SensorOutage, now,
+                                           sensor);
+    }
     obs_sensor_down_[sensor] = down ? 1 : 0;
   };
 
@@ -91,6 +100,8 @@ void Monitor::poll_once() {
       // simply ages by one interval (queries see staler samples).
       ++sweeps_dropped_;
       sweeps_dropped_counter().inc();
+      obs::FlightRecorder::global().record(obs::FlightKind::SweepDrop, now,
+                                           sweeps_dropped_, polls_);
       return;
     }
   }

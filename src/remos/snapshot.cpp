@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "util/rng.hpp"
 
 namespace netsel::remos {
@@ -56,7 +57,14 @@ bool NetworkSnapshot::deltas_since(std::uint64_t since_epoch,
                                    std::vector<Delta>& out) const {
   if (since_epoch > epoch_)
     throw std::invalid_argument("deltas_since: epoch from the future");
-  if (since_epoch < journal_first_epoch_) return false;  // trimmed away
+  if (since_epoch < journal_first_epoch_) {
+    // The reader fell behind the ring and must rebuild from scratch — the
+    // classic silent performance cliff; leave it in the post-mortem tail.
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::JournalOverflow, /*sim_time=*/-1.0,
+        journal_first_epoch_ - since_epoch, epoch_);
+    return false;  // trimmed away
+  }
   const auto skip = static_cast<std::size_t>(since_epoch - journal_first_epoch_);
   for (std::size_t i = skip; i < journal_size_; ++i)
     out.push_back(journal_[(journal_head_ + i) % journal_cap_]);

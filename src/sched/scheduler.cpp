@@ -7,7 +7,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
+#include "obs/jobtrace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "remos/remos.hpp"  // kBwFloor
 #include "select/objective.hpp"
 #include "util/thread_pool.hpp"
@@ -105,6 +108,15 @@ void register_scheduler_metrics() {
   // exporters list them at zero before the first release.
   obs::Registry::global().counter("api.reselect.calls");
   obs::Registry::global().counter("api.reselect.migrations");
+  // Telemetry mirrors (DESIGN.md §13): pre-registered so a zero-event run
+  // still exports every documented name — check_metrics_json.py pins the
+  // set in its service profile.
+  obs::Registry::global().counter("obs.ts.samples");
+  obs::Registry::global().counter("obs.ts.dropped");
+  obs::Registry::global().gauge("obs.ts.series");
+  obs::Registry::global().counter("obs.trace.traces");
+  obs::Registry::global().counter("obs.trace.spans");
+  obs::Registry::global().counter("obs.flight.events");
 }
 
 SchedulerService::SchedulerService(const topo::TopologyGraph& g,
@@ -122,6 +134,23 @@ SchedulerService::SchedulerService(const topo::TopologyGraph& g,
   }
   taken_.assign(g.node_count(), 0);
   register_scheduler_metrics();
+  flight_ = cfg_.flight ? cfg_.flight : &obs::FlightRecorder::global();
+  if (cfg_.timeseries) {
+    obs::TimeSeriesRecorder& ts = *cfg_.timeseries;
+    ts.add_gauge("sched.queue.depth",
+                 [this] { return static_cast<double>(queue_.size()); });
+    ts.add_gauge("sched.jobs.running",
+                 [this] { return static_cast<double>(allocations_.size()); });
+    ts.add_gauge("sched.ladder.rung",
+                 [this] { return static_cast<double>(last_rung_); });
+    ts.add_counter("sched.jobs.submitted", [this] { return stats_.submitted; });
+    ts.add_counter("sched.jobs.placed", [this] { return stats_.placed; });
+    ts.add_counter("sched.jobs.completed", [this] { return stats_.completed; });
+    ts.add_counter("sched.place.conflicts",
+                   [this] { return stats_.conflicts; });
+    ts.add_counter("sched.place.infeasible",
+                   [this] { return stats_.infeasible_attempts; });
+  }
 }
 
 SchedulerService::~SchedulerService() = default;
@@ -160,6 +189,10 @@ void SchedulerService::push_event(double time, Event::Kind kind,
 void SchedulerService::run_until(double t) {
   while (!events_.empty() && events_.top().time <= t) {
     const double et = events_.top().time;
+    // Cadence boundaries strictly before this instant sample the
+    // carried-forward state; a boundary coinciding with it is sampled by
+    // the inclusive call below, after the events have been applied.
+    if (cfg_.timeseries) cfg_.timeseries->sample_until(et, /*inclusive=*/false);
     now_ = et;
     // Drain every event at this instant (a departure freeing nodes at the
     // same time an arrival lands must be visible to that arrival's round).
@@ -190,6 +223,7 @@ void SchedulerService::run_until(double t) {
     sync_depth_gauges();
   }
   if (t > now_) now_ = t;
+  if (cfg_.timeseries) cfg_.timeseries->sample_until(now_, /*inclusive=*/true);
 }
 
 void SchedulerService::drain() {
@@ -205,12 +239,33 @@ void SchedulerService::handle_arrival(std::uint64_t id) {
     rec.note = "admission: queue full";
     ++stats_.rejected;
     metrics().rejected.inc();
+    flight_->record(obs::FlightKind::Reject, now_, id, queue_.size(),
+                    rec.spec.tenant);
+    if (cfg_.job_trace) {
+      const std::uint32_t root = cfg_.job_trace->begin(
+          id, obs::JobSpan::kNoParent, "job", now_);
+      cfg_.job_trace->annotate(id, root, "tenant", rec.spec.tenant);
+      cfg_.job_trace->span(id, root, "admit.reject", now_, now_);
+      cfg_.job_trace->end(id, root, now_);
+    }
     return;
   }
   rec.state = JobState::Queued;
   queue_.push_back(id);
   ++stats_.admitted;
   metrics().admitted.inc();
+  flight_->record(obs::FlightKind::Admit, now_, id,
+                  static_cast<std::uint64_t>(rec.spec.nodes),
+                  rec.spec.tenant);
+  if (cfg_.job_trace) {
+    OpenSpans& open = trace_open_[id];
+    open.root =
+        cfg_.job_trace->begin(id, obs::JobSpan::kNoParent, "job", now_);
+    cfg_.job_trace->annotate(id, open.root, "tenant", rec.spec.tenant);
+    cfg_.job_trace->annotate(id, open.root, "nodes",
+                             std::to_string(rec.spec.nodes));
+    open.queue = cfg_.job_trace->begin(id, open.root, "queue.wait", now_);
+  }
   if (std::isfinite(cfg_.queue_timeout))
     push_event(now_ + cfg_.queue_timeout, Event::Kind::Timeout, id);
 }
@@ -223,6 +278,9 @@ void SchedulerService::handle_departure(std::uint64_t id) {
   rec.finish_time = now_;
   ++stats_.completed;
   metrics().completed.inc();
+  flight_->record(obs::FlightKind::Complete, now_, id, rec.nodes.size(),
+                  rec.spec.tenant);
+  close_trace(id, "release");
   maybe_rebalance();
 }
 
@@ -235,6 +293,23 @@ void SchedulerService::handle_timeout(std::uint64_t id) {
   rec.note = "queue: waited past timeout";
   ++stats_.timed_out;
   metrics().timed_out.inc();
+  flight_->record(obs::FlightKind::Timeout, now_, id, 0, rec.spec.tenant);
+  close_trace(id, "timeout");
+}
+
+void SchedulerService::close_trace(std::uint64_t id,
+                                   const char* terminal_span) {
+  if (!cfg_.job_trace) return;
+  auto it = trace_open_.find(id);
+  if (it == trace_open_.end()) return;
+  OpenSpans& open = it->second;
+  if (open.running)
+    cfg_.job_trace->end(id, open.run, now_);
+  else
+    cfg_.job_trace->end(id, open.queue, now_);
+  cfg_.job_trace->span(id, open.root, terminal_span, now_, now_);
+  cfg_.job_trace->end(id, open.root, now_);
+  trace_open_.erase(it);
 }
 
 void SchedulerService::remove_queued(std::uint64_t id) {
@@ -315,6 +390,15 @@ void SchedulerService::note_ladder(const std::string& tenant,
     case api::DegradationLevel::Smoothed: m.ladder_smoothed.inc(); break;
     case api::DegradationLevel::Prior: m.ladder_prior.inc(); break;
   }
+  const int rung = static_cast<int>(level);
+  last_rung_ = rung;
+  auto [it, inserted] = flight_rung_.emplace(tenant, rung);
+  if (!inserted && it->second != rung) {
+    flight_->record(obs::FlightKind::LadderTransition, now_,
+                    static_cast<std::uint64_t>(it->second),
+                    static_cast<std::uint64_t>(rung), tenant);
+    it->second = rung;
+  }
   if (obs::enabled())
     obs::Registry::global()
         .counter("sched.ladder.tenant." + tenant + "." + name)
@@ -363,6 +447,23 @@ void SchedulerService::schedule_round() {
     for (std::size_t i = 0; i < window; ++i) {
       JobRecord& rec = jobs_[cand[i]];
       Decision d = std::move(dec[i]);
+      // Trace span for the speculative attempt. Lane attribution (i % L)
+      // depends on the configured lane count, so it lives in args only —
+      // the trace digest excludes args and stays lane-count-invariant.
+      OpenSpans* open = nullptr;
+      if (cfg_.job_trace) {
+        auto oit = trace_open_.find(rec.id);
+        if (oit != trace_open_.end()) open = &oit->second;
+      }
+      if (open) {
+        const std::uint32_t att = cfg_.job_trace->span(
+            rec.id, open->root, "place.attempt", now_, now_);
+        cfg_.job_trace->annotate(rec.id, att, "lane", std::to_string(i % L));
+        cfg_.job_trace->annotate(rec.id, att, "feasible",
+                                 d.feasible ? "true" : "false");
+        cfg_.job_trace->annotate(rec.id, att, "candidates",
+                                 std::to_string(d.candidates));
+      }
       if (d.feasible) {
         const bool conflict =
             std::any_of(d.nodes.begin(), d.nodes.end(), [&](topo::NodeId n) {
@@ -371,6 +472,11 @@ void SchedulerService::schedule_round() {
         if (conflict) {
           ++stats_.conflicts;
           m.conflicts.inc();
+          flight_->record(obs::FlightKind::Conflict, now_, rec.id, i,
+                          rec.spec.tenant);
+          if (open)
+            cfg_.job_trace->span(rec.id, open->root, "place.conflict", now_,
+                                 now_);
           const double spec_seconds = d.seconds;
           d = place_job(rec, lane(0), taken_);
           d.seconds += spec_seconds;
@@ -382,6 +488,8 @@ void SchedulerService::schedule_round() {
         ++stats_.infeasible_attempts;
         m.infeasible.inc();
         rec.note = d.note;
+        flight_->record(obs::FlightKind::Infeasible, now_, rec.id,
+                        d.candidates, rec.spec.tenant);
         continue;  // stays queued
       }
       remove_queued(rec.id);
@@ -389,6 +497,9 @@ void SchedulerService::schedule_round() {
       rec.start_time = now_;
       rec.placement_seconds = d.seconds;
       rec.note = d.note;
+      const std::size_t placed_nodes = d.nodes.size();
+      const double objective = d.objective;
+      const api::DegradationLevel level = d.level;
       allocate(rec, std::move(d.nodes), d.objective, d.level);
       push_event(now_ + rec.spec.duration, Event::Kind::Departure, rec.id);
       ++stats_.placed;
@@ -396,7 +507,20 @@ void SchedulerService::schedule_round() {
       m.placement_latency.observe(d.seconds);
       m.queue_wait.observe(now_ - rec.submit_time);
       m.candidate_set.observe(static_cast<double>(d.candidates));
-      note_ladder(rec.spec.tenant, d.level);
+      note_ladder(rec.spec.tenant, level);
+      flight_->record(obs::FlightKind::Place, now_, rec.id, placed_nodes,
+                      rec.spec.tenant);
+      if (open) {
+        cfg_.job_trace->end(rec.id, open->queue, now_);
+        const std::uint32_t commit = cfg_.job_trace->span(
+            rec.id, open->root, "commit", now_, now_);
+        cfg_.job_trace->annotate(rec.id, commit, "objective",
+                                 std::to_string(objective));
+        cfg_.job_trace->annotate(rec.id, commit, "ladder",
+                                 api::degradation_level_name(level));
+        open->run = cfg_.job_trace->begin(rec.id, open->root, "run", now_);
+        open->running = true;
+      }
     }
   }
   sync_depth_gauges();
@@ -509,6 +633,17 @@ void SchedulerService::maybe_rebalance() {
   allocate(rec, r.nodes, r.objective_after, rec.ladder);
   stats_.rebalance_migrations += static_cast<std::uint64_t>(r.migrations);
   m.rebalance_migrations.inc(static_cast<std::uint64_t>(r.migrations));
+  flight_->record(obs::FlightKind::Rebalance, now_, rec.id,
+                  static_cast<std::uint64_t>(r.migrations), rec.spec.tenant);
+  if (cfg_.job_trace) {
+    auto it = trace_open_.find(rec.id);
+    if (it != trace_open_.end()) {
+      const std::uint32_t sp = cfg_.job_trace->span(
+          rec.id, it->second.root, "rebalance", now_, now_);
+      cfg_.job_trace->annotate(rec.id, sp, "migrations",
+                               std::to_string(r.migrations));
+    }
+  }
 }
 
 std::uint64_t SchedulerService::state_digest() const {

@@ -75,6 +75,12 @@ namespace netsel::util {
 class ThreadPool;
 }
 
+namespace netsel::obs {
+class TimeSeriesRecorder;
+class JobTraceRecorder;
+class FlightRecorder;
+}  // namespace netsel::obs
+
 namespace netsel::sched {
 
 /// What a tenant submits: resource shape, service time, and the occupancy
@@ -183,6 +189,18 @@ struct SchedulerConfig {
   bool rebalance_on_release = false;
   int rebalance_budget = 2;
   double rebalance_min_improvement = 0.0;
+  /// Observational telemetry (DESIGN.md §13). All three are pure outputs:
+  /// seeded runs are bit-identical with any combination attached or not.
+  /// Time-series recorder sampled on its sim-time cadence by the event
+  /// loop; register no sources yourself — the scheduler registers its
+  /// queue-depth/jobs-running/placed/conflict/ladder curves on attach.
+  obs::TimeSeriesRecorder* timeseries = nullptr;
+  /// Per-job causal traces (trace id == job id), written only from the
+  /// serial event loop.
+  obs::JobTraceRecorder* job_trace = nullptr;
+  /// Flight-recorder ring for the post-mortem tail; null uses the always-on
+  /// process-wide obs::FlightRecorder::global().
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Aggregate counters, mirrored in the obs registry (sched.*).
@@ -317,6 +335,9 @@ class SchedulerService {
   Lane& lane(std::size_t i);
   void push_event(double time, Event::Kind kind, std::uint64_t job);
   void note_ladder(const std::string& tenant, api::DegradationLevel level);
+  /// Close a job's causal trace at a terminal state (drops the open-span
+  /// bookkeeping); no-op without a tracer.
+  void close_trace(std::uint64_t id, const char* terminal_span);
 
   const topo::TopologyGraph* graph_;
   SchedulerConfig cfg_;
@@ -347,6 +368,21 @@ class SchedulerService {
   std::map<std::uint64_t, Allocation> allocations_;
   std::vector<char> taken_;  ///< per node id: 1 = held by a running job
   SchedulerStats stats_;
+  // --- Telemetry (observational; none of it feeds state_digest) ---------
+  obs::FlightRecorder* flight_ = nullptr;  ///< never null after construction
+  /// Open span indices per live trace (only populated with a tracer).
+  struct OpenSpans {
+    std::uint32_t root = 0;
+    std::uint32_t queue = 0;
+    std::uint32_t run = 0;
+    bool running = false;
+  };
+  std::map<std::uint64_t, OpenSpans> trace_open_;
+  /// Last degradation rung a placement used (0/1/2) — the time-series
+  /// ladder curve; and per-tenant last rung for flight-recorder
+  /// transition events.
+  int last_rung_ = 0;
+  std::map<std::string, int> flight_rung_;
 };
 
 }  // namespace netsel::sched

@@ -238,5 +238,73 @@ TEST_F(Obs, Table1ResultsBitIdenticalEnabledVsDisabled) {
   }
 }
 
+// --- Bucket-based quantile estimation --------------------------------------
+
+TEST_F(Obs, QuantileFromBucketsExactOnDegenerateBuckets) {
+  // One observation per unit-wide bucket: quantiles interpolate linearly
+  // inside the bucket the rank lands in, and the min/max tighten the edge
+  // buckets, so reference points are exact.
+  Histogram& h = Registry::global().histogram(
+      "test.quant.uniform", linear_buckets(1.0, 1.0, 9));
+  for (int v = 1; v <= 10; ++v) h.observe(static_cast<double>(v));
+  // p0 -> the observed min, p100 -> the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  // Rank 5 = exactly the 5th observation's bucket upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 9.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST_F(Obs, QuantileBoundedByBucketOfRank) {
+  // 1000 exponentially distributed-ish values; the bucket estimate must
+  // land inside the true value's bucket (the strongest guarantee a
+  // bucketed estimator can give).
+  Histogram& h = Registry::global().histogram("test.quant.exp",
+                                              exp_buckets(1e-3, 2.0, 20));
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1e-3 * (1.0 + 0.01 * i) * (1 + i % 7);
+    xs.push_back(v);
+    h.observe(v);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact =
+        xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    const double est = h.quantile(q);
+    // Same power-of-two bucket: within a factor of 2 of the exact value.
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST_F(Obs, QuantileSingleValueAndEmpty) {
+  Histogram& h =
+      Registry::global().histogram("test.quant.single", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+  h.observe(1.7);
+  // All mass in one bucket with min == max == 1.7: every quantile is 1.7.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.7);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.7);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.7);
+}
+
+TEST_F(Obs, QuantileViewMatchesHistogram) {
+  Histogram& h = Registry::global().histogram("test.quant.view",
+                                              linear_buckets(10.0, 10.0, 5));
+  for (double v : {5.0, 12.0, 33.0, 47.0, 61.0}) h.observe(v);
+  for (const Registry::HistogramView& view :
+       Registry::global().histograms()) {
+    if (view.name != "test.quant.view") continue;
+    for (double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+      EXPECT_DOUBLE_EQ(view.quantile(q), h.quantile(q)) << "q=" << q;
+    return;
+  }
+  FAIL() << "view for test.quant.view not found";
+}
+
 }  // namespace
 }  // namespace netsel::obs
