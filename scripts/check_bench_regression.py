@@ -6,7 +6,8 @@ Usage:
   check_bench_regression.py [--tolerance F] NAME FRESH BASELINE \
                             [NAME FRESH BASELINE ...]
 
-Each triplet names the benchmark (table1 | scale | churn | service), the
+Each triplet names the benchmark (table1 | scale | churn | service |
+exact), the
 freshly produced JSON and the committed baseline. Two kinds of rules run
 per benchmark:
 
@@ -50,6 +51,15 @@ RULES = {
         ("headline.identical", "bool_true", None),
         ("headline.placements_per_sec", "min_ratio", 0.2),
         ("headline.placement_p99_ms", "max_ratio", 5.0),
+    ],
+    # The exact grid is deterministic (node budgets, no wall-clock budgets),
+    # so its cell counts are machine-independent: the fresh run must cover at
+    # least as many cells and certify at least as many of them as the
+    # committed baseline, and every cell's bracket must stay sound.
+    "exact": [
+        ("headline.sound", "bool_true", None),
+        ("headline.cells", "min_ratio", 1.0),
+        ("headline.exact_cells", "min_ratio", 1.0),
     ],
 }
 

@@ -16,6 +16,10 @@ Profiles pick the required metric set for the producing benchmark:
                     obs.flight.* telemetry mirrors, and requires the
                     10k-host candidate-set histogram to stay out of its
                     overflow bucket)
+  exact             optimality-gap certification runs: bench_exact (the
+                    select.bnb.* branch-and-bound search counters and the
+                    B&B latency histogram; select.selections covers both
+                    the exact searches and their greedy warm starts)
   timeseries        the positional file is a netsel-timeseries-v1 document
                     (bench_service --timeseries-json): validates monotone
                     sim time, sample-count vs cadence consistency, and the
@@ -96,6 +100,25 @@ PROFILES = {
         "histograms": [
             "select.ctx.csr_patch_s",
             "select.latency_s.balanced",
+        ],
+    },
+    "exact": {
+        "counters": [
+            "select.bnb.selections",
+            "select.bnb.expanded",
+            "select.bnb.pushed",
+            "select.bnb.pruned_bound",
+            "select.bnb.pruned_lex",
+            "select.bnb.pool_dominated",
+            "select.bnb.open_dropped",
+            "select.bnb.certified",
+            "select.bnb.budget_hits",
+            "select.selections",
+            "select.ctx.row_hits",
+            "select.ctx.row_misses",
+        ],
+        "histograms": [
+            "select.latency_s.bnb",
         ],
     },
     "service": {

@@ -296,6 +296,7 @@ Placement NodeSelectionService::place(const AppSpec& spec,
     sel.min_bw_bps = spec.min_bw_bps;
     sel.min_cpu_fraction = spec.min_cpu_fraction;
     sel.min_free_memory_bytes = spec.min_free_memory_bytes;
+    sel.exact = opt.exact;
     sel.eligible = group_mask(g, group, taken);
     GroupPlacementInfo& info = placement.groups[gi];
     info.candidates = mask_count(sel.eligible);
@@ -332,6 +333,7 @@ select::SelectionResult NodeSelectionService::select(
   auto snap = degraded_snapshot(opt.query, opt.degradation, level, quality);
   select::SelectionOptions sel;
   sel.num_nodes = m;
+  sel.exact = opt.exact;
   // The same context path every other entry point takes (place, reselect):
   // cached deletion orders and bottleneck rows, bit-identical results.
   select::SelectionContext ctx(snap);

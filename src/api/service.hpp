@@ -39,6 +39,11 @@ struct ServiceOptions {
   std::optional<select::Criterion> criterion;
   remos::QueryOptions query;
   DegradationPolicy degradation;
+  /// Exact branch-and-bound mode (select/bnb.hpp), forwarded verbatim to
+  /// every group's SelectionOptions. Off by default: placements keep the
+  /// greedy fast paths; enable for certified-optimal (or certified-bound)
+  /// placements of small groups.
+  select::ExactOptions exact;
 };
 
 /// Default criterion for an application pattern.

@@ -50,4 +50,22 @@ std::vector<char> dominated_candidate_mask(const remos::NetworkSnapshot& snap,
                                            const SelectionOptions& opt,
                                            const std::vector<char>& eligible);
 
+/// Dominance mask for the *exact* selectors (brute force / select/bnb.hpp),
+/// which must preserve not just the optimal objective but the brute-force
+/// tie-break: among equal-objective m-subsets, the lexicographically first
+/// (by node id). Same degree-1 same-anchor grouping and (bw, fraction, cpu)
+/// keys as dominated_candidate_mask, but a dominator must have a *strictly
+/// lower node id* and weakly dominate every key: swapping the dominated
+/// host out for an unused dominator then never decreases any pairwise
+/// bottleneck or the cpu minimum (the BFS paths beyond the shared switch
+/// are identical) and always produces a lexicographically smaller set, so
+/// the dominated host cannot appear in the exact answer. Applies for every
+/// m >= 1 (subset semantics have no per-component feasibility rule), never
+/// short-circuits on candidate count (the exact search is exponential, so
+/// the O(V + E) pass always pays), and does not touch the
+/// select.prune.dropped counter — callers report drops themselves.
+std::vector<char> exact_dominated_candidate_mask(
+    const remos::NetworkSnapshot& snap, const SelectionOptions& opt,
+    const std::vector<char>& eligible);
+
 }  // namespace netsel::select
